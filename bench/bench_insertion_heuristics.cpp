@@ -1,0 +1,86 @@
+// Future-work exploration (paper §V): alternative taxon-insertion-order
+// heuristics.
+//
+// The paper's dynamic rule inserts the taxon with the fewest admissible
+// branches; its future work proposes exploring other orders. This harness
+// compares, across a corpus:
+//   min-branches        — the published heuristic
+//   most-constrained    — taxon in the most active constraint trees
+//   static shuffled     — the no-heuristic baseline
+// on intermediate states, dead ends, and serial runtime. Expected shape:
+// min-branches wins overall (that is why the paper ships it); the
+// most-constrained variant lands between it and the shuffled baseline.
+#include <cstdio>
+
+#include "benchutil/corpus.hpp"
+#include "benchutil/stats.hpp"
+#include "gentrius/serial.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gentrius;
+  const double scale = benchutil::parse_scale(argc, argv);
+
+  core::Options base;
+  base.stop.max_stand_trees = 300'000;
+  base.stop.max_states = 3'000'000;
+
+  struct Config {
+    const char* name;
+    core::Options opts;
+  };
+  core::Options most = base;
+  most.dynamic_variant = core::Options::DynamicVariant::kMostConstrained;
+  core::Options shuffled = base;
+  shuffled.dynamic_taxon_order = false;
+  shuffled.shuffle_seed = 4711;
+  const Config configs[] = {
+      {"min-branches (paper)", base},
+      {"most-constrained", most},
+      {"static shuffled", shuffled},
+  };
+
+  std::uint64_t states[3] = {0, 0, 0};
+  std::uint64_t dead[3] = {0, 0, 0};
+  double seconds[3] = {0, 0, 0};
+  std::size_t wins[3] = {0, 0, 0};
+  std::size_t used = 0;
+
+  const auto corpus = benchutil::empirical_corpus(
+      static_cast<std::size_t>(50 * scale), /*seed0=*/161);
+  for (const auto& ds : corpus) {
+    core::Result results[3];
+    bool usable = true;
+    for (int i = 0; i < 3 && usable; ++i) {
+      try {
+        results[i] = core::run_serial(ds.constraints, configs[i].opts);
+      } catch (const support::Error&) {
+        usable = false;
+      }
+      if (results[i].reason != core::StopReason::kCompleted) usable = false;
+    }
+    if (!usable || results[0].intermediate_states < 1'000) continue;
+    ++used;
+    std::size_t best = 0;
+    for (int i = 0; i < 3; ++i) {
+      states[i] += results[i].intermediate_states;
+      dead[i] += results[i].dead_ends;
+      seconds[i] += results[i].seconds;
+      if (results[i].intermediate_states <
+          results[best].intermediate_states)
+        best = static_cast<std::size_t>(i);
+    }
+    ++wins[best];
+  }
+
+  std::printf("Insertion-order heuristics across %zu completing datasets\n\n",
+              used);
+  std::printf("%-24s %14s %12s %10s %6s\n", "heuristic", "total states",
+              "dead ends", "time", "wins");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-24s %14llu %12llu %9.2fs %6zu\n", configs[i].name,
+                static_cast<unsigned long long>(states[i]),
+                static_cast<unsigned long long>(dead[i]), seconds[i],
+                wins[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Prior-method baseline: SUPERB (terraphy / Biczok et al.) vs Gentrius.
+//
+// The paper's introduction positions Gentrius against SUPERB-based tools:
+// they count the same stands but require a comprehensive taxon to root the
+// input. This harness (a) cross-checks counts on comprehensive-taxon
+// datasets and compares runtimes, and (b) shows the datasets without a
+// comprehensive taxon, where only Gentrius can run at all.
+#include <cstdio>
+
+#include "baseline/superb.hpp"
+#include "benchutil/corpus.hpp"
+#include "gentrius/serial.hpp"
+#include "pam/pam.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gentrius;
+  const double scale = benchutil::parse_scale(argc, argv);
+
+  core::Options options;
+  options.stop.max_stand_trees = 2'000'000;
+  options.stop.max_states = 20'000'000;
+
+  std::printf("SUPERB baseline vs Gentrius\n\n");
+  std::printf("-- comprehensive-taxon datasets (both methods applicable) --\n");
+  std::printf("%-22s %12s %12s %11s %11s %6s\n", "dataset", "superb",
+              "gentrius", "t_superb", "t_gentrius", "agree");
+
+  support::Rng rng(151);
+  std::size_t shown = 0;
+  std::size_t no_comp_total = 0, tried = 0;
+  for (std::uint64_t i = 0; shown < static_cast<std::size_t>(8 * scale) &&
+                            i < 400; ++i) {
+    datagen::SimulatedParams p;
+    p.n_taxa = 24 + rng.below(41);
+    p.n_loci = 4 + rng.below(5);
+    p.missing_fraction = 0.35 + 0.2 * rng.uniform();
+    p.seed = 151'000 + i;
+    auto ds = datagen::make_simulated(p);
+    ++tried;
+    // Mode (a): force taxon 0 comprehensive.
+    for (std::size_t l = 0; l < ds.pam.locus_count(); ++l)
+      ds.pam.set_present(0, l, true);
+    ds.constraints = pam::induced_subtrees(ds.species_tree, ds.pam);
+
+    baseline::SuperbOptions so;
+    so.max_recursion_nodes = 5'000'000;
+    const auto superb = baseline::count_stand_superb(ds.constraints, 0, so);
+
+    const auto gentrius = core::run_serial(ds.constraints, options);
+    if (gentrius.reason != core::StopReason::kCompleted) continue;
+    if (gentrius.stand_trees < 10) continue;  // show non-trivial stands
+
+    char superb_count[32];
+    if (superb.budget_exceeded)
+      std::snprintf(superb_count, sizeof(superb_count), "gave up");
+    else if (superb.saturated)
+      std::snprintf(superb_count, sizeof(superb_count), "overflow");
+    else
+      std::snprintf(superb_count, sizeof(superb_count), "%llu",
+                    static_cast<unsigned long long>(superb.count));
+    const bool comparable = !superb.budget_exceeded && !superb.saturated;
+    std::printf("%-22s %12s %12llu %10.4fs %10.4fs %6s\n", ds.name.c_str(),
+                superb_count,
+                static_cast<unsigned long long>(gentrius.stand_trees),
+                superb.seconds, gentrius.seconds,
+                !comparable ? "n/a"
+                            : (superb.count == gentrius.stand_trees ? "yes"
+                                                                    : "NO"));
+    ++shown;
+  }
+
+  std::printf("\n-- datasets without a comprehensive taxon --\n");
+  std::printf("%-22s %18s %14s\n", "dataset", "superb", "gentrius trees");
+  for (std::uint64_t i = 0; no_comp_total < 4 && i < 200; ++i) {
+    datagen::SimulatedParams p;
+    p.n_taxa = 24;
+    p.n_loci = 6;
+    p.missing_fraction = 0.45;
+    p.seed = 152'000 + i;
+    const auto ds = datagen::make_simulated(p);
+    if (baseline::find_comprehensive_taxon(ds.constraints).has_value())
+      continue;
+    const auto gentrius = core::run_serial(ds.constraints, options);
+    std::printf("%-22s %18s %14llu\n", ds.name.c_str(),
+                "not applicable",
+                static_cast<unsigned long long>(gentrius.stand_trees));
+    ++no_comp_total;
+  }
+  std::printf("\n(SUPERB-style methods cannot root inputs lacking a "
+              "comprehensive taxon — Gentrius's key advantage.)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Design ablation: work stealing vs. static initial split.
+//
+// The paper motivates the thread pool with Figure 3: the initial split can
+// assign nearly all work to one thread. This harness compares the full
+// work-stealing pool against a split-only baseline (identical except tasks
+// are never offered) across a corpus. Expected shape: stealing matches or
+// beats the static split everywhere, with large gaps on imbalanced
+// instances; the static split's mean speedup saturates well below N_t.
+#include <cstdio>
+
+#include "benchutil/corpus.hpp"
+#include "benchutil/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gentrius;
+  const double scale = benchutil::parse_scale(argc, argv);
+
+  core::Options options;
+  options.stop.max_stand_trees = 200'000;
+  options.stop.max_states = 1'500'000;
+  vthread::CostModel costs;
+
+  const auto corpus = benchutil::simulated_corpus(
+      static_cast<std::size_t>(48 * scale), /*seed0=*/141);
+
+  std::printf("Work-stealing ablation (pool vs static initial split)\n");
+  std::vector<double> pool_speedup[2], static_speedup[2];
+  const std::size_t threads_of[2] = {8, 16};
+  std::size_t used = 0;
+  double worst_ratio = 1.0;
+  std::string worst_name;
+  for (const auto& ds : corpus) {
+    core::Problem problem;
+    try {
+      problem = core::build_problem(ds.constraints, options);
+    } catch (const support::Error&) {
+      continue;
+    }
+    const auto probe = vthread::run_virtual(problem, options, 16, costs);
+    if (probe.reason != core::StopReason::kCompleted ||
+        probe.virtual_makespan < 5'000)
+      continue;
+    const auto serial = vthread::run_virtual(problem, options, 1, costs);
+    ++used;
+    for (int i = 0; i < 2; ++i) {
+      const auto pool =
+          vthread::run_virtual(problem, options, threads_of[i], costs);
+      const auto stat = vthread::run_virtual_static_split(
+          problem, options, threads_of[i], costs);
+      pool_speedup[i].push_back(serial.virtual_makespan /
+                                pool.virtual_makespan);
+      static_speedup[i].push_back(serial.virtual_makespan /
+                                  stat.virtual_makespan);
+      const double ratio = stat.virtual_makespan / pool.virtual_makespan;
+      if (i == 1 && ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst_name = ds.name;
+      }
+    }
+  }
+
+  std::printf("%zu datasets\n\n%-26s %10s %s\n", used, "configuration",
+              "threads", "speedup  mean  [q1 median q3]  (min..max)");
+  for (int i = 0; i < 2; ++i) {
+    std::printf("%-26s %10zu %s\n", "work-stealing pool", threads_of[i],
+                benchutil::format_distribution(
+                    benchutil::Distribution::of(pool_speedup[i]))
+                    .c_str());
+    std::printf("%-26s %10zu %s\n", "static split only", threads_of[i],
+                benchutil::format_distribution(
+                    benchutil::Distribution::of(static_speedup[i]))
+                    .c_str());
+  }
+  if (!worst_name.empty())
+    std::printf("\nlargest imbalance rescued by stealing: %.1fx on %s\n",
+                worst_ratio, worst_name.c_str());
+  return 0;
+}

@@ -1,0 +1,163 @@
+// stand_explorer: a small command-line front end, the shape of the tool the
+// paper ships inside IQ-TREE 2.
+//
+// Usage:
+//   stand_explorer --trees FILE [options]             (one Newick per line)
+//   stand_explorer --species FILE --pam FILE [options]
+// Options:
+//   --threads N        parallel run with N worker threads (default: serial)
+//   --max-trees N      stopping rule 1 (default 10^6)
+//   --max-states N     stopping rule 2 (default 10^7)
+//   --max-seconds S    stopping rule 3 (default 168h)
+//   --print-stand      print every stand tree (Newick)
+//   --no-heuristics    disable both Gentrius heuristics
+//   --demo             write demo input files and exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/serial.hpp"
+#include "pam/pam.hpp"
+#include "parallel/pool.hpp"
+#include "phylo/newick.hpp"
+
+namespace {
+
+using namespace gentrius;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw support::InvalidInput("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<phylo::Tree> read_trees(const std::string& path,
+                                    phylo::TaxonSet& taxa) {
+  std::vector<phylo::Tree> trees;
+  std::istringstream in(slurp(path));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    trees.push_back(phylo::parse_newick(line, taxa));
+  }
+  return trees;
+}
+
+int write_demo() {
+  {
+    std::ofstream out("demo_trees.nwk");
+    out << "((A,B),(C,D),E);\n((A,B),(E,F));\n((C,D),(F,G));\n";
+  }
+  datagen::EmpiricalLikeParams p;
+  p.n_taxa = 20;
+  p.n_loci = 5;
+  p.seed = 3;
+  const auto ds = datagen::make_empirical_like(p);
+  {
+    std::ofstream out("demo_species.nwk");
+    out << phylo::to_newick(ds.species_tree, ds.taxa) << "\n";
+  }
+  {
+    std::ofstream out("demo.pam");
+    out << ds.pam.to_text(ds.taxa);
+  }
+  std::printf("wrote demo_trees.nwk, demo_species.nwk, demo.pam\n"
+              "try:  stand_explorer --trees demo_trees.nwk --print-stand\n"
+              "      stand_explorer --species demo_species.nwk --pam demo.pam "
+              "--threads 4\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: stand_explorer --trees FILE | --species FILE --pam "
+               "FILE [--threads N] [--max-trees N] [--max-states N] "
+               "[--max-seconds S] [--print-stand] [--no-heuristics] [--demo]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trees_path, species_path, pam_path;
+  std::size_t threads = 1;
+  bool print_stand = false;
+  core::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trees") trees_path = next();
+    else if (arg == "--species") species_path = next();
+    else if (arg == "--pam") pam_path = next();
+    else if (arg == "--threads") threads = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-trees")
+      options.stop.max_stand_trees = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-states")
+      options.stop.max_states = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-seconds")
+      options.stop.max_seconds = std::strtod(next(), nullptr);
+    else if (arg == "--print-stand") print_stand = true;
+    else if (arg == "--no-heuristics") {
+      options.select_initial_tree = false;
+      options.dynamic_taxon_order = false;
+    } else if (arg == "--demo") return write_demo();
+    else return usage();
+  }
+
+  try {
+    phylo::TaxonSet taxa;
+    std::vector<phylo::Tree> constraints;
+    if (!trees_path.empty()) {
+      constraints = read_trees(trees_path, taxa);
+    } else if (!species_path.empty() && !pam_path.empty()) {
+      const pam::Pam pam = pam::Pam::parse(slurp(pam_path), taxa);
+      const auto species = read_trees(species_path, taxa);
+      if (species.size() != 1)
+        throw support::InvalidInput("--species file must hold exactly one tree");
+      constraints = pam::induced_subtrees(species[0], pam);
+      std::printf("PAM: %zu taxa, %zu loci, %.1f%% missing; %zu induced "
+                  "subtrees used as constraints\n",
+                  pam.taxon_count(), pam.locus_count(),
+                  100.0 * pam.missing_fraction(), constraints.size());
+    } else {
+      return usage();
+    }
+
+    options.collect_trees = print_stand;
+    options.tree_names = &taxa;
+
+    const auto problem = core::build_problem(constraints, options);
+    const core::Result result =
+        threads <= 1 ? core::run_serial(problem, options)
+                     : parallel::run_parallel(problem, options, threads);
+
+    std::printf("stand trees          : %llu\n",
+                static_cast<unsigned long long>(result.stand_trees));
+    std::printf("intermediate states  : %llu\n",
+                static_cast<unsigned long long>(result.intermediate_states));
+    std::printf("dead ends            : %llu\n",
+                static_cast<unsigned long long>(result.dead_ends));
+    std::printf("termination          : %s\n", core::to_string(result.reason));
+    std::printf("wall time            : %.3fs (%zu thread%s)\n", result.seconds,
+                threads, threads == 1 ? "" : "s");
+    if (print_stand) {
+      for (const auto& t : result.trees) std::printf("%s\n", t.c_str());
+    }
+    return 0;
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

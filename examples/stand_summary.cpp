@@ -1,0 +1,80 @@
+// Stand post-analysis: what do millions of equally scoring trees agree on?
+//
+// The paper's discussion frames stand identification as input to downstream
+// uncertainty analysis. This example enumerates a stand and then
+// summarizes it: strict and majority-rule consensus (which clades are
+// actually resolved by the data), split support, and the Robinson-Foulds
+// spread of the stand.
+#include <algorithm>
+#include <cstdio>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/serial.hpp"
+#include "gentrius/verify.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/splits.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace gentrius;
+
+  datagen::EmpiricalLikeParams params;
+  params.n_taxa = 24;
+  params.n_loci = 6;
+  params.seed = 17;
+  const auto dataset = datagen::make_empirical_like(params);
+
+  core::Options options;
+  options.collect_trees = true;
+  options.tree_names = &dataset.taxa;
+  options.stop.max_stand_trees = 200'000;
+  const auto result = core::run_serial(dataset.constraints, options);
+  std::printf("stand: %llu trees (%s), %zu collected\n",
+              static_cast<unsigned long long>(result.stand_trees),
+              core::to_string(result.reason), result.trees.size());
+  if (result.trees.empty()) return 0;
+
+  // Independent verification of the enumerated stand against the definition.
+  const auto check =
+      core::verify_stand(dataset.constraints, result.trees, dataset.taxa);
+  std::printf("stand verification: %s\n",
+              check.ok ? "ok" : check.error.c_str());
+
+  // Parse the collected Newick strings back into trees.
+  std::vector<phylo::Tree> trees;
+  phylo::TaxonSet names = dataset.taxa;
+  for (const auto& nwk : result.trees)
+    trees.push_back(
+        phylo::parse_newick(nwk, names, {.register_new_taxa = false}));
+
+  const std::size_t n = trees.front().leaf_count();
+  const auto strict = phylo::strict_consensus(trees);
+  const auto majority = phylo::majority_consensus(trees, 0.5);
+  std::printf("\nresolution (internal edges; %zu = fully resolved):\n", n - 3);
+  std::printf("  any single stand tree : %zu\n", n - 3);
+  std::printf("  majority-rule (>50%%)  : %zu\n",
+              majority.internal_edge_count());
+  std::printf("  strict consensus      : %zu\n", strict.internal_edge_count());
+  std::printf("\nstrict consensus tree:\n  %s\n",
+              strict.to_newick(dataset.taxa).c_str());
+
+  // RF spread: distances from the first tree and between random pairs.
+  support::Rng rng(1);
+  std::size_t max_rf = 0;
+  double sum_rf = 0;
+  const std::size_t samples = std::min<std::size_t>(trees.size() - 1, 500);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto& a = trees[rng.below(trees.size())];
+    const auto& b = trees[rng.below(trees.size())];
+    const std::size_t d = phylo::rf_distance(a, b);
+    max_rf = std::max(max_rf, d);
+    sum_rf += static_cast<double>(d);
+  }
+  std::printf("\nRF distance between random stand trees (max possible %zu):\n",
+              2 * (n - 3));
+  std::printf("  mean %.1f, sampled max %zu over %zu pairs\n",
+              sum_rf / static_cast<double>(samples), max_rf, samples);
+  std::printf("\n=> everything the strict consensus leaves unresolved is "
+              "uncertainty *caused purely by missing data*.\n");
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "baseline/superb.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "support/bitset.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gentrius::baseline {
+
+using phylo::TaxonId;
+using phylo::Tree;
+using phylo::VertexId;
+using support::Bitset;
+using support::InvalidInput;
+
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kMax - b ? kMax : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+/// Rooted binary tree obtained by rooting an unrooted tree at the
+/// comprehensive taxon c (c itself is removed; its former neighbour is the
+/// root). Stored as child pairs; leaves carry taxon ids.
+struct RootedTree {
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    TaxonId taxon = phylo::kNoTaxon;
+  };
+  std::vector<Node> nodes;
+  std::int32_t root = -1;
+  Bitset leaves;  // over the full taxon universe
+
+  std::int32_t build(const Tree& t, VertexId v, VertexId from) {
+    const auto& vx = t.vertex(v);
+    const auto id = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    if (vx.taxon != phylo::kNoTaxon) {
+      nodes[static_cast<std::size_t>(id)].taxon = vx.taxon;
+      return id;
+    }
+    std::int32_t kids[2];
+    int n = 0;
+    for (std::uint8_t i = 0; i < vx.degree; ++i) {
+      if (vx.adj[i].to == from) continue;
+      kids[n++] = build(t, vx.adj[i].to, v);
+    }
+    GENTRIUS_CHECK(n == 2);
+    nodes[static_cast<std::size_t>(id)].left = kids[0];
+    nodes[static_cast<std::size_t>(id)].right = kids[1];
+    return id;
+  }
+};
+
+struct BitsetKey {
+  std::vector<std::uint64_t> words;
+  bool operator==(const BitsetKey&) const = default;
+};
+
+struct BitsetKeyHash {
+  std::size_t operator()(const BitsetKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto w : k.words) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Counter {
+ public:
+  Counter(std::vector<RootedTree> trees, std::size_t n_taxa,
+          const SuperbOptions& options)
+      : trees_(std::move(trees)), n_taxa_(n_taxa), options_(options) {}
+
+  SuperbResult run(const Bitset& all) {
+    SuperbResult result;
+    support::Stopwatch clock;
+    try {
+      result.count = count(all);
+      result.saturated = result.count == kMax;
+    } catch (const BudgetExceeded&) {
+      result.budget_exceeded = true;
+    }
+    result.recursion_nodes = nodes_;
+    result.seconds = clock.seconds();
+    return result;
+  }
+
+ private:
+  struct BudgetExceeded {};
+
+  /// Number of L-taxa below `node`, and (via `side`) the L-taxa in the
+  /// effective root's left child of the restriction tree|L.
+  std::size_t count_in(const RootedTree& t, std::int32_t node, const Bitset& l,
+                       Bitset* side) const {
+    const auto& nd = t.nodes[static_cast<std::size_t>(node)];
+    if (nd.taxon != phylo::kNoTaxon) {
+      const bool in = l.test(nd.taxon);
+      if (in && side) side->set(nd.taxon);
+      return in ? 1 : 0;
+    }
+    return count_in(t, nd.left, l, side) + count_in(t, nd.right, l, side);
+  }
+
+  /// Root split of t restricted to L: descends while only one child holds
+  /// L-taxa; returns the left-child taxa at the first genuine split.
+  /// Requires |leaves(t) ∩ L| >= 2.
+  Bitset restricted_root_side(const RootedTree& t, const Bitset& l) const {
+    std::int32_t node = t.root;
+    for (;;) {
+      const auto& nd = t.nodes[static_cast<std::size_t>(node)];
+      GENTRIUS_DCHECK(nd.taxon == phylo::kNoTaxon);
+      const std::size_t in_left = count_in(t, nd.left, l, nullptr);
+      const std::size_t in_right = count_in(t, nd.right, l, nullptr);
+      if (in_left == 0) {
+        node = nd.right;
+        continue;
+      }
+      if (in_right == 0) {
+        node = nd.left;
+        continue;
+      }
+      Bitset side(n_taxa_);
+      count_in(t, nd.left, l, &side);
+      return side;
+    }
+  }
+
+  std::uint64_t count(const Bitset& l) {
+    const std::size_t size = l.count();
+    if (size <= 2) return 1;
+    if (++nodes_ > options_.max_recursion_nodes) throw BudgetExceeded{};
+
+    BitsetKey key{[&] {
+      std::vector<std::uint64_t> w((n_taxa_ + 63) / 64, 0);
+      l.for_each([&](std::size_t t) { w[t >> 6] |= 1ULL << (t & 63); });
+      return w;
+    }()};
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Union-find over the taxa of L: each root-child group of each
+    // restricted constraint tree must stay on one side of the bipartition.
+    std::vector<std::uint32_t> parent(n_taxa_);
+    const auto taxa = l.to_indices();
+    for (const auto t : taxa) parent[t] = t;
+    const auto find = [&](std::uint32_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    const auto unite = [&](std::uint32_t a, std::uint32_t b) {
+      parent[find(a)] = find(b);
+    };
+
+    for (const auto& t : trees_) {
+      if (t.leaves.intersection_count(l) < 2) continue;
+      const Bitset left = restricted_root_side(t, l);
+      Bitset right = t.leaves;
+      right &= l;
+      right.subtract(left);
+      for (const Bitset* group : {&std::as_const(left), &std::as_const(right)}) {
+        std::uint32_t anchor = static_cast<std::uint32_t>(group->first());
+        group->for_each([&](std::size_t x) {
+          unite(anchor, static_cast<std::uint32_t>(x));
+        });
+      }
+    }
+
+    // Components of L.
+    std::vector<std::uint32_t> roots;
+    std::unordered_map<std::uint32_t, std::size_t> comp_index;
+    std::vector<Bitset> comps;
+    for (const auto t : taxa) {
+      const std::uint32_t r = find(t);
+      auto [it, fresh] = comp_index.try_emplace(r, comps.size());
+      if (fresh) comps.emplace_back(n_taxa_);
+      comps[it->second].set(t);
+    }
+    const std::size_t p = comps.size();
+    std::uint64_t total = 0;
+    if (p == 1) {
+      total = 0;  // no valid root bipartition: nothing displays all trees
+    } else if (p == 2) {
+      Bitset b = l;
+      b.subtract(comps[0]);
+      total = sat_mul(count(comps[0]), count(b));
+    } else {
+      if (p > options_.max_components)
+        throw BudgetExceeded{};  // 2^(p-1) assignments: hopeless anyway
+      // Component 0 pinned to side A; iterate over subsets of the rest.
+      const std::uint64_t masks = 1ULL << (p - 1);
+      for (std::uint64_t mask = 0; mask + 1 < masks; ++mask) {
+        Bitset a = comps[0];
+        for (std::size_t i = 1; i < p; ++i)
+          if (mask & (1ULL << (i - 1))) a |= comps[i];
+        Bitset b = l;
+        b.subtract(a);
+        total = sat_add(total, sat_mul(count(a), count(b)));
+      }
+    }
+    memo_.emplace(std::move(key), total);
+    return total;
+  }
+
+  std::vector<RootedTree> trees_;
+  std::size_t n_taxa_;
+  SuperbOptions options_;
+  std::uint64_t nodes_ = 0;
+  std::unordered_map<BitsetKey, std::uint64_t, BitsetKeyHash> memo_;
+};
+
+}  // namespace
+
+std::optional<TaxonId> find_comprehensive_taxon(
+    const std::vector<Tree>& constraints) {
+  if (constraints.empty()) return std::nullopt;
+  TaxonId max_taxon = 0;
+  for (const auto& t : constraints)
+    for (const TaxonId x : t.taxa()) max_taxon = std::max(max_taxon, x);
+  for (TaxonId c = 0; c <= max_taxon; ++c) {
+    bool all = true;
+    for (const auto& t : constraints) {
+      if (!t.has_taxon(c)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return c;
+  }
+  return std::nullopt;
+}
+
+SuperbResult count_stand_superb(const std::vector<Tree>& constraints,
+                                TaxonId comprehensive,
+                                const SuperbOptions& options) {
+  if (constraints.empty())
+    throw InvalidInput("SUPERB needs at least one constraint tree");
+
+  std::size_t n_taxa = 0;
+  for (const auto& t : constraints)
+    for (const TaxonId x : t.taxa())
+      n_taxa = std::max<std::size_t>(n_taxa, x + 1);
+
+  std::vector<RootedTree> rooted;
+  Bitset all(n_taxa);
+  for (const auto& t : constraints) {
+    const VertexId c_leaf = t.leaf_of(comprehensive);
+    if (c_leaf == phylo::kNoId)
+      throw InvalidInput(
+          "comprehensive taxon missing from a constraint tree — SUPERB "
+          "cannot root the input (this is Gentrius's advantage)");
+    if (t.leaf_count() < 3) continue;  // roots to <2 taxa: no constraint
+    RootedTree rt;
+    rt.leaves.resize(n_taxa);
+    // Root at c: the tree below c's unique neighbour, with c removed.
+    rt.root = rt.build(t, t.vertex(c_leaf).adj[0].to, c_leaf);
+    for (const TaxonId x : t.taxa()) {
+      if (x == comprehensive) continue;
+      rt.leaves.set(x);
+      all.set(x);
+    }
+    rooted.push_back(std::move(rt));
+  }
+  // Taxa appearing only in tiny trees still belong to the universe.
+  for (const auto& t : constraints)
+    for (const TaxonId x : t.taxa())
+      if (x != comprehensive) all.set(x);
+
+  Counter counter(std::move(rooted), n_taxa, options);
+  return counter.run(all);
+}
+
+}  // namespace gentrius::baseline

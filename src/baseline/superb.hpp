@@ -1,0 +1,58 @@
+// SUPERB-style stand counting (Constantinescu & Sankoff 1995), the prior
+// method the paper's introduction discusses (terraphy, Biczok et al. 2018).
+//
+// SUPERB counts rooted supertrees displaying a set of rooted constraint
+// trees by recursive bipartition enumeration. Its fundamental limitation —
+// the reason Gentrius exists — is that it requires a *comprehensive taxon*
+// (one with data in every locus) to consistently root the unrooted input
+// trees. When such a taxon exists, the number of unrooted trees on X
+// displaying all constraints equals the number of rooted supertrees on
+// X \ {c} (root every tree at c), and this module computes it.
+//
+// Recursion: for taxon set L, every root bipartition of a displaying
+// supertree keeps each root-child of each restricted constraint tree on one
+// side; the transitive closure of those groups yields components C1..Cp,
+// and every assignment of components to the two sides (both non-empty) is
+// realizable:  count(L) = sum over assignments of count(A) * count(B).
+// Subproblems are memoized on the taxon subset. Complexity is exponential
+// (stand sizes themselves are), so the API carries an explicit work budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace gentrius::baseline {
+
+struct SuperbOptions {
+  /// Abort (saturated=true, budget_exceeded=true) after this many recursion
+  /// node expansions.
+  std::uint64_t max_recursion_nodes = 50'000'000;
+  /// Refuse to enumerate bipartitions of more than this many components:
+  /// a level with p components contributes 2^(p-1) assignments, so anything
+  /// beyond ~22 is intractable (and the count would overflow regardless).
+  std::size_t max_components = 22;
+};
+
+struct SuperbResult {
+  std::uint64_t count = 0;
+  bool saturated = false;        ///< count overflowed uint64 (reported as max)
+  bool budget_exceeded = false;  ///< gave up before finishing
+  std::uint64_t recursion_nodes = 0;
+  double seconds = 0.0;
+};
+
+/// A taxon present in every constraint tree, if any (lowest id).
+std::optional<phylo::TaxonId> find_comprehensive_taxon(
+    const std::vector<phylo::Tree>& constraints);
+
+/// Counts the stand of the given unrooted constraint trees by rooting all
+/// of them at the comprehensive taxon and running SUPERB. Throws
+/// InvalidInput when `comprehensive` is missing from some constraint.
+SuperbResult count_stand_superb(const std::vector<phylo::Tree>& constraints,
+                                phylo::TaxonId comprehensive,
+                                const SuperbOptions& options = {});
+
+}  // namespace gentrius::baseline

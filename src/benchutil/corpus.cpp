@@ -1,0 +1,127 @@
+#include "benchutil/corpus.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchutil/stats.hpp"
+#include "gentrius/problem.hpp"
+
+namespace gentrius::benchutil {
+
+const std::vector<std::size_t>& thread_counts() {
+  static const std::vector<std::size_t> counts{2, 4, 8, 12, 16};
+  return counts;
+}
+
+bool run_dataset(const datagen::Dataset& dataset, const Protocol& protocol,
+                 CorpusRun& out) {
+  out = CorpusRun{};
+  out.name = dataset.name;
+
+  core::Problem problem;
+  try {
+    problem = core::build_problem(dataset.constraints, protocol.options);
+  } catch (const support::Error&) {
+    return false;  // degenerate instance (e.g. all loci filtered out)
+  }
+
+  if (protocol.require_completion) {
+    const auto probe =
+        vthread::run_virtual(problem, protocol.options, 16, protocol.costs);
+    if (probe.reason != core::StopReason::kCompleted) {
+      if (protocol.verbose)
+        std::printf("  filtered %s (%s at 16 threads)\n", out.name.c_str(),
+                    core::to_string(probe.reason));
+      return false;
+    }
+  }
+
+  const auto serial =
+      vthread::run_virtual(problem, protocol.options, 1, protocol.costs);
+  out.serial_units = serial.virtual_makespan;
+  out.serial_trees = serial.stand_trees;
+  out.serial_states = serial.intermediate_states;
+  out.serial_reason = serial.reason;
+
+  for (const std::size_t t : thread_counts()) {
+    const auto r =
+        vthread::run_virtual(problem, protocol.options, t, protocol.costs);
+    out.makespans.push_back(r.virtual_makespan);
+    out.trees.push_back(r.stand_trees);
+    out.speedups.push_back(r.virtual_makespan > 0
+                               ? serial.virtual_makespan / r.virtual_makespan
+                               : 1.0);
+  }
+  return true;
+}
+
+void print_speedup_panels(const std::string& title,
+                          const std::vector<CorpusRun>& runs,
+                          const std::vector<double>& thresholds_seconds) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const double threshold : thresholds_seconds) {
+    std::vector<const CorpusRun*> kept;
+    for (const auto& r : runs)
+      if (r.serial_units / kUnitsPerSecond > threshold) kept.push_back(&r);
+    std::printf("\n-- panel: serial execution time > %.1fs equivalent "
+                "(%zu datasets) --\n",
+                threshold, kept.size());
+    std::printf("%8s  %-42s\n", "threads",
+                "speedup  mean  [q1 median q3]  (min..max)");
+    for (std::size_t i = 0; i < thread_counts().size(); ++i) {
+      std::vector<double> values;
+      values.reserve(kept.size());
+      for (const auto* r : kept) values.push_back(r->speedups[i]);
+      const auto d = Distribution::of(std::move(values));
+      std::printf("%8zu  %s\n", thread_counts()[i],
+                  format_distribution(d).c_str());
+    }
+  }
+}
+
+std::vector<datagen::Dataset> simulated_corpus(std::size_t count,
+                                               std::uint64_t seed0) {
+  std::vector<datagen::Dataset> out;
+  out.reserve(count);
+  support::Rng rng(seed0);
+  for (std::size_t i = 0; i < count; ++i) {
+    datagen::SimulatedParams p;
+    p.n_taxa = 50 + rng.below(101);               // 50..150
+    p.n_loci = 4 + rng.below(8);                  // 4..11
+    p.missing_fraction = 0.35 + 0.20 * rng.uniform();  // 35..55 %
+    p.seed = seed0 * 1'000'003 + i;
+    out.push_back(datagen::make_simulated(p));
+  }
+  return out;
+}
+
+std::vector<datagen::Dataset> empirical_corpus(std::size_t count,
+                                               std::uint64_t seed0) {
+  std::vector<datagen::Dataset> out;
+  out.reserve(count);
+  support::Rng rng(seed0);
+  for (std::size_t i = 0; i < count; ++i) {
+    datagen::EmpiricalLikeParams p;
+    p.n_taxa = 40 + rng.below(81);  // 40..120
+    p.n_loci = 5 + rng.below(10);   // 5..14
+    p.backbone_loci = 1 + rng.below(2);
+    p.rogue_fraction = 0.08 + 0.12 * rng.uniform();
+    p.seed = seed0 * 2'000'003 + i;
+    out.push_back(datagen::make_empirical_like(p));
+  }
+  return out;
+}
+
+double parse_scale(int argc, char** argv, double fallback) {
+  if (argc > 1) {
+    const double v = std::strtod(argv[1], nullptr);
+    if (v > 0) return v;
+  }
+  if (const char* env = std::getenv("GENTRIUS_BENCH_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace gentrius::benchutil

@@ -1,0 +1,78 @@
+// Shared corpus machinery for the Figure 6/7/8 style experiments.
+//
+// Implements the paper's evaluation protocol (§IV-B): generate a corpus,
+// first run every dataset with 16 (virtual) threads and keep only those for
+// which the entire stand was computed without triggering a stopping rule,
+// then re-run the survivors with N_t = {12, 8, 4, 2, 1} threads and report
+// per-thread-count speedup distributions, split into panels by serial
+// execution time thresholds.
+//
+// "Seconds" here are virtual: the cost model defines 1 unit ≈ 1 state
+// expansion, and the paper's machine processes a few hundred thousand
+// states per second, so UNITS_PER_SECOND converts virtual makespans into
+// equivalent serial wall-clock on the paper's hardware. The corpus is
+// scaled down (instance sizes, thresholds /10) so a full figure regenerates
+// in minutes on one core; the *shape* of the distributions is what must
+// reproduce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/options.hpp"
+#include "vthread/virtual_pool.hpp"
+
+namespace gentrius::benchutil {
+
+/// Equivalent of the paper's "hundreds of thousands of states per second".
+inline constexpr double kUnitsPerSecond = 250'000.0;
+
+struct CorpusRun {
+  std::string name;
+  double serial_units = 0;        ///< virtual makespan with 1 thread
+  std::uint64_t serial_trees = 0;
+  std::uint64_t serial_states = 0;
+  core::StopReason serial_reason = core::StopReason::kCompleted;
+  /// speedups[i] for thread_counts()[i]; raw makespan ratios.
+  std::vector<double> speedups;
+  /// stand trees found at each thread count (for adapted speedups).
+  std::vector<std::uint64_t> trees;
+  std::vector<double> makespans;
+};
+
+const std::vector<std::size_t>& thread_counts();  // {2,4,8,12,16}
+
+struct Protocol {
+  core::Options options;          ///< stopping rules for every run
+  vthread::CostModel costs;
+  bool require_completion = true; ///< paper's filter: no stopping rule at 16T
+  bool verbose = false;
+};
+
+/// Runs one dataset through the whole protocol (16-thread filter first when
+/// require_completion). Returns false when the dataset was filtered out.
+bool run_dataset(const datagen::Dataset& dataset, const Protocol& protocol,
+                 CorpusRun& out);
+
+/// Prints the per-thread speedup distribution panels, one per serial-time
+/// threshold (seconds, via kUnitsPerSecond).
+void print_speedup_panels(const std::string& title,
+                          const std::vector<CorpusRun>& runs,
+                          const std::vector<double>& thresholds_seconds);
+
+/// Mixed-size simulated corpus mirroring the original Gentrius manuscript's
+/// parameter grid, scaled down: taxa 20..60, loci 4..12, missing 30..50 %.
+std::vector<datagen::Dataset> simulated_corpus(std::size_t count,
+                                               std::uint64_t seed0);
+
+/// Empirical-like corpus (clade-structured missingness on Yule trees).
+std::vector<datagen::Dataset> empirical_corpus(std::size_t count,
+                                               std::uint64_t seed0);
+
+/// Parses the optional first CLI argument as a corpus scale factor.
+double parse_scale(int argc, char** argv, double fallback = 1.0);
+
+}  // namespace gentrius::benchutil

@@ -1,0 +1,44 @@
+#include "benchutil/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace gentrius::benchutil {
+
+namespace {
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Distribution Distribution::of(std::vector<double> values) {
+  Distribution d;
+  d.n = values.size();
+  if (values.empty()) return d;
+  std::sort(values.begin(), values.end());
+  d.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  d.median = quantile(values, 0.5);
+  d.q1 = quantile(values, 0.25);
+  d.q3 = quantile(values, 0.75);
+  d.min = values.front();
+  d.max = values.back();
+  return d;
+}
+
+std::string format_distribution(const Distribution& d) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%6.2f  [%5.2f %5.2f %5.2f]  (%5.2f..%5.2f)",
+                d.mean, d.q1, d.median, d.q3, d.min, d.max);
+  return buf;
+}
+
+}  // namespace gentrius::benchutil

@@ -1,0 +1,19 @@
+// Distribution summaries for the speedup figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gentrius::benchutil {
+
+struct Distribution {
+  std::size_t n = 0;
+  double mean = 0, median = 0, q1 = 0, q3 = 0, min = 0, max = 0;
+
+  static Distribution of(std::vector<double> values);
+};
+
+/// "mean [q1 median q3]" with fixed precision, for figure-style tables.
+std::string format_distribution(const Distribution& d);
+
+}  // namespace gentrius::benchutil

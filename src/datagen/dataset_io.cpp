@@ -1,0 +1,80 @@
+#include "datagen/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pam/pam.hpp"
+#include "phylo/newick.hpp"
+#include "support/error.hpp"
+
+namespace gentrius::datagen {
+
+namespace fs = std::filesystem;
+using support::InvalidInput;
+
+namespace {
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw InvalidInput("cannot write " + path.string());
+  out << content;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidInput("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+void write_dataset(const Dataset& dataset, const std::string& directory) {
+  const fs::path dir(directory);
+  fs::create_directories(dir);
+
+  std::string constraints;
+  for (const auto& tree : dataset.constraints)
+    constraints += phylo::to_newick(tree, dataset.taxa) + "\n";
+  write_file(dir / "constraints.nwk", constraints);
+
+  if (dataset.species_tree.leaf_count() > 0)
+    write_file(dir / "species.nwk",
+               phylo::to_newick(dataset.species_tree, dataset.taxa) + "\n");
+  if (dataset.pam.taxon_count() > 0)
+    write_file(dir / "matrix.pam", dataset.pam.to_text(dataset.taxa));
+  write_file(dir / "name.txt", dataset.name + "\n");
+}
+
+Dataset load_dataset(const std::string& directory) {
+  const fs::path dir(directory);
+  Dataset ds;
+
+  if (fs::exists(dir / "name.txt")) {
+    std::string name = read_file(dir / "name.txt");
+    while (!name.empty() && (name.back() == '\n' || name.back() == '\r'))
+      name.pop_back();
+    ds.name = name;
+  }
+  // The PAM first (when present), so taxon ids match the matrix rows.
+  if (fs::exists(dir / "matrix.pam"))
+    ds.pam = pam::Pam::parse(read_file(dir / "matrix.pam"), ds.taxa);
+
+  if (fs::exists(dir / "species.nwk"))
+    ds.species_tree = phylo::parse_newick(read_file(dir / "species.nwk"), ds.taxa);
+
+  const std::string constraints = read_file(dir / "constraints.nwk");
+  std::istringstream in(constraints);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ds.constraints.push_back(phylo::parse_newick(line, ds.taxa));
+  }
+  if (ds.constraints.empty())
+    throw InvalidInput("dataset has no constraint trees: " + directory);
+  return ds;
+}
+
+}  // namespace gentrius::datagen

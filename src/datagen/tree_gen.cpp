@@ -1,0 +1,65 @@
+#include "datagen/tree_gen.hpp"
+
+#include "support/check.hpp"
+
+namespace gentrius::datagen {
+
+using phylo::EdgeId;
+using phylo::TaxonId;
+using phylo::Tree;
+using phylo::VertexId;
+
+Tree random_tree(const std::vector<TaxonId>& taxa, support::Rng& rng) {
+  if (taxa.size() <= 3) return Tree::star(taxa);
+  Tree t;
+  t.reserve_for_leaves(taxa.size());
+  t = Tree::star({taxa[0], taxa[1], taxa[2]});
+  for (std::size_t i = 3; i < taxa.size(); ++i) {
+    // During pure construction edge ids are dense: [0, edge_count).
+    const auto e = static_cast<EdgeId>(rng.below(t.edge_count()));
+    t.insert_leaf(taxa[i], e);
+  }
+  return t;
+}
+
+Tree yule_tree(const std::vector<TaxonId>& taxa, support::Rng& rng) {
+  if (taxa.size() <= 3) return Tree::star(taxa);
+  Tree t = Tree::star({taxa[0], taxa[1], taxa[2]});
+  t.reserve_for_leaves(taxa.size());
+  // Track pendant edges; splitting a pendant edge = speciation of that leaf.
+  std::vector<EdgeId> pendant;
+  t.for_each_edge([&](EdgeId e) {
+    const auto& ed = t.edge(e);
+    if (t.vertex(ed.u).taxon != phylo::kNoTaxon ||
+        t.vertex(ed.v).taxon != phylo::kNoTaxon)
+      pendant.push_back(e);
+  });
+  for (std::size_t i = 3; i < taxa.size(); ++i) {
+    const std::size_t pick = rng.below(pendant.size());
+    const EdgeId e = pendant[pick];
+    // insert_leaf keeps the id `e` for the u-side half; find out whether the
+    // old leaf sits on that half or on the freshly allocated moved_edge.
+    const bool u_is_leaf = t.vertex(t.edge(e).u).taxon != phylo::kNoTaxon;
+    const auto rec = t.insert_leaf(taxa[i], e);
+    pendant[pick] = u_is_leaf ? e : rec.moved_edge;
+    pendant.push_back(rec.leaf_edge);
+  }
+  return t;
+}
+
+std::vector<TaxonId> edge_side_taxa(const Tree& tree, EdgeId e, VertexId side) {
+  std::vector<TaxonId> out;
+  const VertexId avoid = tree.other_end(e, side);
+  std::vector<std::pair<VertexId, VertexId>> stack{{side, avoid}};
+  while (!stack.empty()) {
+    const auto [v, from] = stack.back();
+    stack.pop_back();
+    const auto& vx = tree.vertex(v);
+    if (vx.taxon != phylo::kNoTaxon) out.push_back(vx.taxon);
+    for (std::uint8_t i = 0; i < vx.degree; ++i)
+      if (vx.adj[i].to != from) stack.emplace_back(vx.adj[i].to, v);
+  }
+  return out;
+}
+
+}  // namespace gentrius::datagen

@@ -1,0 +1,28 @@
+// Random tree generation.
+#pragma once
+
+#include <vector>
+
+#include "phylo/tree.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::datagen {
+
+/// Uniformly distributed unrooted binary tree on the given taxa (each of the
+/// (2n-5)!! labeled topologies equally likely): sequential insertion at a
+/// uniformly chosen edge.
+phylo::Tree random_tree(const std::vector<phylo::TaxonId>& taxa,
+                        support::Rng& rng);
+
+/// Yule(-Harding) tree: repeatedly split a uniformly chosen *pendant* edge.
+/// Produces more balanced trees than the uniform model — closer to real
+/// phylogenies, used by the empirical-like dataset mode.
+phylo::Tree yule_tree(const std::vector<phylo::TaxonId>& taxa,
+                      support::Rng& rng);
+
+/// Taxa on the `side` endpoint's side of edge `e` (DFS away from the edge).
+std::vector<phylo::TaxonId> edge_side_taxa(const phylo::Tree& tree,
+                                           phylo::EdgeId e,
+                                           phylo::VertexId side);
+
+}  // namespace gentrius::datagen

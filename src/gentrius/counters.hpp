@@ -1,0 +1,138 @@
+// Shared progress counters with batched publication (paper §III-B).
+//
+// The sequential Gentrius updates three global counters (stand trees,
+// intermediate states, dead ends) at every state and checks the stopping
+// rules. The parallel version keeps them in std::atomic variables; to avoid
+// cache-line ping-pong each thread accumulates locally and publishes every
+// 2^10 / 2^13 / 2^10 increments. A consequence the paper documents is that
+// parallel runs can overshoot the limits by up to (threads * batch).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "gentrius/options.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gentrius::core {
+
+/// Process-wide totals. One instance per run, shared by all threads.
+class CounterSink {
+ public:
+  explicit CounterSink(const StoppingRules& rules) : rules_(rules) {}
+
+  void add_stand_trees(std::uint64_t d) {
+    if (stand_trees_.fetch_add(d, std::memory_order_relaxed) + d >=
+        rules_.max_stand_trees)
+      request_stop(StopReason::kTreeLimit);
+  }
+
+  void add_states(std::uint64_t d) {
+    if (states_.fetch_add(d, std::memory_order_relaxed) + d >= rules_.max_states)
+      request_stop(StopReason::kStateLimit);
+  }
+
+  void add_dead_ends(std::uint64_t d) {
+    dead_ends_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  /// Stopping rule 3. Called on every flush; cheap relative to batch work.
+  void check_time() {
+    if (clock_.seconds() >= rules_.max_seconds)
+      request_stop(StopReason::kTimeLimit);
+  }
+
+  void request_stop(StopReason why) {
+    int expected = -1;
+    reason_.compare_exchange_strong(expected, static_cast<int>(why),
+                                    std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_release);
+  }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// The rule that fired, or kCompleted when none did.
+  StopReason reason() const {
+    const int r = reason_.load(std::memory_order_relaxed);
+    return r < 0 ? StopReason::kCompleted : static_cast<StopReason>(r);
+  }
+
+  std::uint64_t stand_trees() const { return stand_trees_.load(std::memory_order_relaxed); }
+  std::uint64_t states() const { return states_.load(std::memory_order_relaxed); }
+  std::uint64_t dead_ends() const { return dead_ends_.load(std::memory_order_relaxed); }
+
+  double seconds() const { return clock_.seconds(); }
+
+ private:
+  StoppingRules rules_;
+  std::atomic<std::uint64_t> stand_trees_{0};
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> dead_ends_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> reason_{-1};
+  support::Stopwatch clock_;
+};
+
+/// Per-thread accumulator. Publishes to the sink in batches; every flush
+/// also evaluates the time rule.
+class LocalCounters {
+ public:
+  LocalCounters(CounterSink& sink, std::uint32_t tree_batch,
+                std::uint32_t state_batch, std::uint32_t dead_end_batch)
+      : sink_(&sink),
+        tree_batch_(tree_batch ? tree_batch : 1),
+        state_batch_(state_batch ? state_batch : 1),
+        dead_end_batch_(dead_end_batch ? dead_end_batch : 1) {}
+
+  void count_stand_tree() {
+    if (++trees_ >= tree_batch_) flush_trees();
+  }
+
+  void count_state() {
+    if (++states_ >= state_batch_) flush_states();
+  }
+
+  void count_dead_end() {
+    if (++dead_ends_ >= dead_end_batch_) flush_dead_ends();
+  }
+
+  /// Publish everything accumulated so far (end of a task / of the run).
+  void flush_all() {
+    if (trees_) flush_trees();
+    if (states_) flush_states();
+    if (dead_ends_) flush_dead_ends();
+  }
+
+  /// Number of sink publications so far (the contention-model input of the
+  /// counter-batching ablation).
+  std::uint64_t flush_count() const { return flushes_; }
+
+ private:
+  void flush_trees() {
+    sink_->add_stand_trees(trees_);
+    trees_ = 0;
+    ++flushes_;
+    sink_->check_time();
+  }
+  void flush_states() {
+    sink_->add_states(states_);
+    states_ = 0;
+    ++flushes_;
+    sink_->check_time();
+  }
+  void flush_dead_ends() {
+    sink_->add_dead_ends(dead_ends_);
+    dead_ends_ = 0;
+    ++flushes_;
+    sink_->check_time();
+  }
+
+  CounterSink* sink_;
+  std::uint32_t tree_batch_, state_batch_, dead_end_batch_;
+  std::uint64_t trees_ = 0, states_ = 0, dead_ends_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace gentrius::core

@@ -1,0 +1,28 @@
+// Umbrella header: the full public API of the Gentrius library.
+//
+//   #include "gentrius/gentrius.hpp"
+//
+//   using namespace gentrius;
+//   phylo::TaxonSet taxa;
+//   std::vector<phylo::Tree> trees = ...;          // parse_newick(...)
+//   core::Options options;
+//   core::Result r = core::run_serial(trees, options);
+//   // or: parallel::run_parallel(core::build_problem(trees, options),
+//   //                            options, n_threads);
+//
+// Individual headers remain includable on their own; this is convenience.
+#pragma once
+
+#include "gentrius/counters.hpp"
+#include "gentrius/enumerator.hpp"
+#include "gentrius/options.hpp"
+#include "gentrius/problem.hpp"
+#include "gentrius/serial.hpp"
+#include "gentrius/terrace.hpp"
+#include "gentrius/verify.hpp"
+#include "pam/pam.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/splits.hpp"
+#include "phylo/taxon_set.hpp"
+#include "phylo/topology.hpp"
+#include "phylo/tree.hpp"

@@ -1,0 +1,115 @@
+// Run configuration and result types for Gentrius.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+
+namespace gentrius::core {
+
+/// The three stopping rules of the paper (§II-B): the run terminates when
+/// the stand-tree count, the intermediate-state count, or the wall-clock
+/// time exceeds its limit. Paper defaults: 10^6 trees, 10^7 states, 168 h.
+struct StoppingRules {
+  std::uint64_t max_stand_trees = 1'000'000;
+  std::uint64_t max_states = 10'000'000;
+  double max_seconds = 168.0 * 3600.0;
+};
+
+struct Options {
+  /// Heuristic 1: start from the constraint tree sharing the most taxa with
+  /// the others (paper §II-B). Off = start from `initial_constraint`
+  /// (default 0).
+  bool select_initial_tree = true;
+
+  /// Heuristic 2: dynamic taxon insertion — always insert the remaining
+  /// taxon with the fewest admissible branches. Off = static order (the
+  /// given `insertion_order`, a shuffle when `shuffle_seed` is set, or
+  /// ascending taxon id).
+  bool dynamic_taxon_order = true;
+
+  /// Dynamic-order selection rule. The paper's future work proposes
+  /// exploring different insertion-order heuristics; besides the published
+  /// min-branches rule, this library implements a most-constrained-first
+  /// variant (taxon appearing in the most active constraint trees, ties by
+  /// fewest branches). See bench_insertion_heuristics.
+  enum class DynamicVariant : std::uint8_t { kMinBranches, kMostConstrained };
+  DynamicVariant dynamic_variant = DynamicVariant::kMinBranches;
+
+  /// Explicit initial agile tree (index into the constraint list).
+  std::optional<std::size_t> initial_constraint;
+
+  /// Explicit static insertion order (must be a permutation of the taxa
+  /// missing from the initial agile tree). Implies dynamic order off.
+  std::vector<phylo::TaxonId> insertion_order;
+
+  /// Shuffle the static order with this seed (heuristic-ablation mode).
+  std::optional<std::uint64_t> shuffle_seed;
+
+  /// Maintain the double-edge mappings incrementally across taxon
+  /// insertions/removals (default) instead of recomputing every active
+  /// constraint at each state. Results are identical; only the per-state
+  /// cost changes (see bench_mapping_update and the paper's §V profiling
+  /// remark that mapping updates consume 15-30 % of runtime).
+  bool incremental_mappings = true;
+
+  StoppingRules stop;
+
+  /// Collect the stand trees themselves (canonical form), up to
+  /// collect_limit per enumerator.
+  bool collect_trees = false;
+  std::size_t collect_limit = 1'000'000;
+
+  /// When set and collect_trees is on, stand trees are stored as canonical
+  /// Newick with these labels; otherwise as the compact id-based canonical
+  /// encoding. The pointee must outlive the run (not owned).
+  const phylo::TaxonSet* tree_names = nullptr;
+
+  /// Batched global-counter updates (paper §III-B): a thread publishes its
+  /// local counts every 2^10 stand trees / 2^13 states / 2^10 dead ends.
+  /// Serial runs use batch 1 so the stopping rules are exact.
+  std::uint32_t tree_flush_batch = 1u << 10;
+  std::uint32_t state_flush_batch = 1u << 13;
+  std::uint32_t dead_end_flush_batch = 1u << 10;
+};
+
+enum class StopReason : std::uint8_t {
+  kCompleted,   ///< full stand enumerated
+  kTreeLimit,   ///< stopping rule 1
+  kStateLimit,  ///< stopping rule 2
+  kTimeLimit,   ///< stopping rule 3
+  kEmptyStand,  ///< constraints mutually incompatible; stand is empty
+};
+
+inline const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kTreeLimit: return "tree-limit";
+    case StopReason::kStateLimit: return "state-limit";
+    case StopReason::kTimeLimit: return "time-limit";
+    case StopReason::kEmptyStand: return "empty-stand";
+  }
+  return "?";
+}
+
+struct Result {
+  std::uint64_t stand_trees = 0;
+  std::uint64_t intermediate_states = 0;
+  std::uint64_t dead_ends = 0;
+  StopReason reason = StopReason::kCompleted;
+  double seconds = 0.0;
+
+  /// Canonical Newick of each enumerated stand tree (when collected).
+  std::vector<std::string> trees;
+
+  // Diagnostics.
+  std::size_t initial_split_branches = 0;  ///< fan-out at state I0 (0 = no split)
+  std::size_t prefix_length = 0;           ///< forced insertions before I0
+  std::uint64_t tasks_executed = 0;        ///< work-stealing tasks run (parallel)
+  double virtual_makespan = 0.0;           ///< virtual-time runs only
+};
+
+}  // namespace gentrius::core

@@ -1,0 +1,106 @@
+#include "gentrius/problem.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::core {
+
+using support::InvalidInput;
+
+Problem build_problem(std::vector<phylo::Tree> constraints,
+                      const Options& options) {
+  if (constraints.empty())
+    throw InvalidInput("Gentrius needs at least one constraint tree");
+
+  Problem p;
+  p.constraints = std::move(constraints);
+
+  phylo::TaxonId max_taxon = 0;
+  bool any = false;
+  for (const auto& t : p.constraints) {
+    for (const phylo::TaxonId x : t.taxa()) {
+      max_taxon = std::max(max_taxon, x);
+      any = true;
+    }
+  }
+  if (!any) throw InvalidInput("constraint trees contain no taxa");
+  p.n_taxa = max_taxon + 1;
+
+  p.all_taxa.resize(p.n_taxa);
+  p.trees_of_taxon.assign(p.n_taxa, {});
+  p.constraint_taxa.reserve(p.constraints.size());
+  for (std::size_t i = 0; i < p.constraints.size(); ++i) {
+    support::Bitset set(p.n_taxa);
+    for (const phylo::TaxonId x : p.constraints[i].taxa()) {
+      set.set(x);
+      p.trees_of_taxon[x].push_back(static_cast<std::uint32_t>(i));
+    }
+    p.all_taxa |= set;
+    p.constraint_taxa.push_back(std::move(set));
+  }
+
+  // Structural validation: every tree must be an unrooted binary tree (or a
+  // star on < 4 taxa, which Tree guarantees by construction).
+  for (const auto& t : p.constraints) {
+    t.validate();
+    if (t.leaf_count() == 0)
+      throw InvalidInput("constraint tree with no taxa");
+  }
+
+  // Initial agile tree: heuristic 1 picks the constraint sharing the most
+  // taxa with all remaining constraint trees (paper §II-B); only trees with
+  // >= 3 taxa are usable as a starting topology.
+  if (options.initial_constraint) {
+    const std::size_t idx = *options.initial_constraint;
+    if (idx >= p.constraints.size())
+      throw InvalidInput("initial_constraint index out of range");
+    if (p.constraints[idx].leaf_count() < 3)
+      throw InvalidInput("initial constraint tree needs >= 3 taxa");
+    p.initial_constraint = idx;
+  } else if (options.select_initial_tree) {
+    std::size_t best = p.constraints.size();
+    std::size_t best_score = 0;
+    for (std::size_t i = 0; i < p.constraints.size(); ++i) {
+      if (p.constraints[i].leaf_count() < 3) continue;
+      std::size_t score = 0;
+      for (std::size_t j = 0; j < p.constraints.size(); ++j) {
+        if (j == i) continue;
+        score += p.constraint_taxa[i].intersection_count(p.constraint_taxa[j]);
+      }
+      if (best == p.constraints.size() || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    if (best == p.constraints.size())
+      throw InvalidInput("no constraint tree with >= 3 taxa to start from");
+    p.initial_constraint = best;
+  } else {
+    std::size_t first = p.constraints.size();
+    for (std::size_t i = 0; i < p.constraints.size(); ++i) {
+      if (p.constraints[i].leaf_count() >= 3) {
+        first = i;
+        break;
+      }
+    }
+    if (first == p.constraints.size())
+      throw InvalidInput("no constraint tree with >= 3 taxa to start from");
+    p.initial_constraint = first;
+  }
+
+  const auto& init = p.constraint_taxa[p.initial_constraint];
+  p.all_taxa.for_each([&](std::size_t x) {
+    if (!init.test(x)) p.missing_taxa.push_back(static_cast<phylo::TaxonId>(x));
+  });
+
+  // Fixed-seed split-hash keys: deterministic across runs and threads.
+  support::Rng rng(0x5eedc0de12345678ULL);
+  p.taxon_keys.resize(p.n_taxa);
+  for (auto& k : p.taxon_keys) k = rng.next() | 1;  // never zero
+
+  return p;
+}
+
+}  // namespace gentrius::core

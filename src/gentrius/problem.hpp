@@ -1,0 +1,39 @@
+// Immutable, thread-shared problem description.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gentrius/options.hpp"
+#include "phylo/tree.hpp"
+#include "support/bitset.hpp"
+
+namespace gentrius::core {
+
+/// Normalized input for one Gentrius run: the constraint trees, their taxon
+/// sets, and the chosen initial agile tree. Built once, then shared
+/// read-only by every enumerator (each thread copies only its own agile
+/// tree; the paper's "redundant input parsing" corresponds to each thread's
+/// private Terrace built from this object).
+struct Problem {
+  std::size_t n_taxa = 0;  ///< universe size (max taxon id + 1 over all trees)
+  std::vector<phylo::Tree> constraints;
+  std::vector<support::Bitset> constraint_taxa;           ///< per constraint, over [0, n_taxa)
+  std::vector<std::vector<std::uint32_t>> trees_of_taxon;  ///< constraint indices containing taxon
+  support::Bitset all_taxa;                                ///< union of constraint taxa
+  std::size_t initial_constraint = 0;
+  std::vector<phylo::TaxonId> missing_taxa;  ///< taxa to insert, ascending
+  /// xorshift keys for the split hashing of the double-edge mappings.
+  std::vector<std::uint64_t> taxon_keys;
+
+  std::size_t missing_count() const { return missing_taxa.size(); }
+};
+
+/// Validates the constraint set and applies the initial-tree-selection
+/// heuristic (or the Options override). Throws InvalidInput on unusable
+/// input: empty constraint list, no constraint with >= 3 taxa, non-binary
+/// trees (vertices of degree 2 or > 3 among internals).
+Problem build_problem(std::vector<phylo::Tree> constraints,
+                      const Options& options);
+
+}  // namespace gentrius::core

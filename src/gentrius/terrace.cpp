@@ -1,0 +1,312 @@
+#include "gentrius/terrace.hpp"
+
+#include <algorithm>
+
+#include "phylo/topology.hpp"
+#include "support/check.hpp"
+
+namespace gentrius::core {
+
+Terrace::Terrace(const Problem& problem, bool incremental)
+    : problem_(&problem),
+      agile_(problem.constraints[problem.initial_constraint]),
+      inserted_(problem.n_taxa),
+      incremental_(incremental) {
+  agile_.reserve_for_leaves(problem.all_taxa.count());
+
+  for (const TaxonId t : agile_.taxa()) inserted_.set(t);
+  remaining_ = problem.missing_taxa;
+
+  const std::size_t m = problem.constraints.size();
+  common_count_.resize(m);
+  remaining_in_.resize(m);
+  active_.assign(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& y = problem.constraint_taxa[i];
+    common_count_[i] =
+        static_cast<std::uint32_t>(y.intersection_count(inserted_));
+    remaining_in_[i] =
+        static_cast<std::uint32_t>(y.count()) - common_count_[i];
+  }
+
+  computed_.assign(m, 0);
+  dirty_.assign(m, 1);
+
+  const std::size_t n_total = problem.all_taxa.count();
+  const std::size_t max_edges = n_total < 2 ? 1 : 2 * n_total;  // capacity bound
+  edge_key_.assign(m, std::vector<std::uint64_t>(max_edges, 0));
+  bucket_.assign(m, support::KeyMap(2 * n_total + 8));
+  target_key_.assign(m, std::vector<std::uint64_t>(problem.n_taxa, 0));
+
+  std::size_t max_vertices = 2 * n_total;  // agile bound
+  for (const auto& t : problem.constraints)
+    max_vertices = std::max(max_vertices, t.vertex_capacity() + 1);
+  order_.reserve(max_vertices);
+  stack_.reserve(max_vertices);
+  parent_vertex_.resize(max_vertices);
+  parent_edge_.resize(max_vertices);
+  cnt_.resize(max_vertices);
+  xorv_.resize(max_vertices);
+  ctx_.resize(max_vertices);
+}
+
+InsertRecord Terrace::insert(TaxonId x, EdgeId e) {
+  GENTRIUS_DCHECK(!inserted_.test(x));
+  for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
+    ++common_count_[i];
+    --remaining_in_[i];
+    dirty_[i] = 1;  // the common taxon set of T_i changed
+  }
+  if (!incremental_) {
+    for (auto& d : dirty_) d = 1;
+  }
+  const InsertRecord rec = agile_.insert_leaf(x, e);
+  if (incremental_) {
+    // x is not in any clean constraint's taxon set, so every clean mapping
+    // stays structurally valid: the retained half of the split edge keeps
+    // its key, and the moved half plus the pendant edge attach strictly
+    // inside the same common-subtree edge — same key, bucket grows by two.
+    const std::size_t m = problem_->constraints.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!computed_[i] || dirty_[i]) continue;
+      const std::uint64_t k = edge_key_[i][e];
+      edge_key_[i][rec.moved_edge] = k;
+      edge_key_[i][rec.leaf_edge] = k;
+      bucket_[i][k] += 2;
+    }
+  }
+  inserted_.set(x);
+  const auto it = std::lower_bound(remaining_.begin(), remaining_.end(), x);
+  GENTRIUS_DCHECK(it != remaining_.end() && *it == x);
+  remaining_.erase(it);
+  return rec;
+}
+
+void Terrace::remove(const InsertRecord& rec) {
+  const TaxonId x = rec.taxon;
+  for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
+    --common_count_[i];
+    ++remaining_in_[i];
+    dirty_[i] = 1;
+  }
+  if (!incremental_) {
+    for (auto& d : dirty_) d = 1;
+  } else {
+    // Exact inverse of the incremental insert update.
+    const std::size_t m = problem_->constraints.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!computed_[i] || dirty_[i]) continue;
+      bucket_[i][edge_key_[i][rec.split_edge]] -= 2;
+    }
+  }
+  agile_.remove_leaf(rec);
+  inserted_.reset(x);
+  remaining_.insert(std::lower_bound(remaining_.begin(), remaining_.end(), x),
+                    x);
+}
+
+void Terrace::map_tree(const phylo::Tree& tree, const support::Bitset& y,
+                       std::size_t i, bool agile_side) {
+  const std::size_t c0 = y.first_common(inserted_);
+  GENTRIUS_DCHECK(c0 < y.universe_size());
+  const VertexId root = tree.leaf_of(static_cast<TaxonId>(c0));
+  GENTRIUS_DCHECK(root != kNoId);
+
+  // Preorder traversal; parents precede children in order_.
+  order_.clear();
+  stack_.clear();
+  stack_.push_back(root);
+  parent_vertex_[root] = kNoId;
+  parent_edge_[root] = kNoId;
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    stack_.pop_back();
+    order_.push_back(v);
+    cnt_[v] = 0;
+    xorv_[v] = 0;
+    const auto& vx = tree.vertex(v);
+    const TaxonId t = vx.taxon;
+    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
+      cnt_[v] = 1;
+      xorv_[v] = problem_->taxon_keys[t];
+    }
+    for (std::uint8_t a = 0; a < vx.degree; ++a) {
+      const VertexId to = vx.adj[a].to;
+      if (to == parent_vertex_[v]) continue;
+      parent_vertex_[to] = v;
+      parent_edge_[to] = vx.adj[a].edge;
+      stack_.push_back(to);
+    }
+  }
+
+  // Post-order accumulation of C-counts and XOR hashes.
+  for (std::size_t k = order_.size(); k-- > 1;) {
+    const VertexId v = order_[k];
+    const VertexId u = parent_vertex_[v];
+    cnt_[u] += cnt_[v];
+    xorv_[u] ^= xorv_[v];
+  }
+  const std::uint64_t hc = xorv_[root];  // XOR over all of C
+
+  // Pre-order key assignment: Steiner edges get the canonical split hash of
+  // their below-side; off-Steiner edges inherit the key at their attachment
+  // point (the parent's context).
+  auto& keys = edge_key_[i];
+  auto& bucket = bucket_[i];
+  auto& targets = target_key_[i];
+  for (std::size_t k = 1; k < order_.size(); ++k) {
+    const VertexId v = order_[k];
+    std::uint64_t key;
+    if (cnt_[v] > 0) {
+      const std::uint64_t h = xorv_[v];
+      const std::uint64_t hx = h ^ hc;
+      key = h < hx ? h : hx;
+    } else {
+      key = ctx_[parent_vertex_[v]];
+    }
+    ctx_[v] = key;
+    if (agile_side) {
+      const EdgeId e = parent_edge_[v];
+      GENTRIUS_DCHECK(e < keys.size());
+      keys[e] = key;
+      ++bucket[key];
+    } else {
+      const TaxonId t = tree.vertex(v).taxon;
+      if (t != kNoTaxon && !inserted_.test(t)) targets[t] = key;
+    }
+  }
+}
+
+void Terrace::ensure_mappings() {
+  const std::size_t m = problem_->constraints.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!dirty_[i]) continue;
+    dirty_[i] = 0;
+    const bool on = common_count_[i] >= 2 && remaining_in_[i] > 0;
+    active_[i] = on ? 1 : 0;
+    if (!on) {
+      computed_[i] = 0;
+      continue;
+    }
+    bucket_[i].clear();
+    map_tree(agile_, problem_->constraint_taxa[i], i, /*agile_side=*/true);
+    map_tree(problem_->constraints[i], problem_->constraint_taxa[i], i,
+             /*agile_side=*/false);
+    computed_[i] = 1;
+  }
+}
+
+void Terrace::gather_constraints(TaxonId x) {
+  scratch_js_.clear();
+  for (const std::uint32_t i : problem_->trees_of_taxon[x])
+    if (active_[i]) scratch_js_.push_back(i);
+}
+
+std::size_t Terrace::count_for(TaxonId x) {
+  gather_constraints(x);
+  if (scratch_js_.empty()) return agile_.edge_count();
+  if (scratch_js_.size() == 1) {
+    const std::uint32_t i = scratch_js_[0];
+    return bucket_[i].get(target_key_[i][x], 0);
+  }
+  // Multiple constraints: exact intersection via one scan over agile edges.
+  std::size_t count = 0;
+  const std::size_t cap = agile_.edge_capacity();
+  for (EdgeId e = 0; e < cap; ++e) {
+    if (!agile_.edge_alive(e)) continue;
+    bool ok = true;
+    for (const std::uint32_t i : scratch_js_) {
+      if (edge_key_[i][e] != target_key_[i][x]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++count;
+  }
+  return count;
+}
+
+void Terrace::collect_branches(TaxonId x, std::vector<EdgeId>& out) {
+  out.clear();
+  gather_constraints(x);
+  const std::size_t cap = agile_.edge_capacity();
+  for (EdgeId e = 0; e < cap; ++e) {
+    if (!agile_.edge_alive(e)) continue;
+    bool ok = true;
+    for (const std::uint32_t i : scratch_js_) {
+      if (edge_key_[i][e] != target_key_[i][x]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(e);
+  }
+}
+
+Terrace::Choice Terrace::choose_dynamic(std::vector<EdgeId>& branches,
+                                        Options::DynamicVariant variant) {
+  branches.clear();
+  Choice choice;
+  if (remaining_.empty()) {
+    choice.complete = true;
+    return choice;
+  }
+  ensure_mappings();
+
+  std::size_t best_count = static_cast<std::size_t>(-1);
+  std::size_t best_degree = 0;
+  for (const TaxonId x : remaining_) {
+    const std::size_t c = count_for(x);  // fills scratch_js_ with x's constraints
+    if (c == 0) {
+      choice.taxon = x;
+      choice.dead_end = true;
+      return choice;
+    }
+    bool better;
+    if (variant == Options::DynamicVariant::kMostConstrained) {
+      const std::size_t d = scratch_js_.size();
+      better = d > best_degree || (d == best_degree && c < best_count);
+      if (better) best_degree = d;
+    } else {
+      better = c < best_count;
+    }
+    if (better) {
+      best_count = c;
+      choice.taxon = x;
+    }
+  }
+  collect_branches(choice.taxon, branches);
+  GENTRIUS_DCHECK(branches.size() == best_count);
+  return choice;
+}
+
+Terrace::Choice Terrace::choose_static(TaxonId taxon,
+                                       std::vector<EdgeId>& branches) {
+  branches.clear();
+  Choice choice;
+  if (remaining_.empty()) {
+    choice.complete = true;
+    return choice;
+  }
+  ensure_mappings();
+  choice.taxon = taxon;
+  collect_branches(taxon, branches);
+  if (branches.empty()) choice.dead_end = true;
+  return choice;
+}
+
+bool Terrace::initial_state_consistent() const {
+  for (std::size_t i = 0; i < problem_->constraints.size(); ++i) {
+    if (common_count_[i] < 4) continue;  // <= 3 common taxa: always consistent
+    std::vector<TaxonId> common;
+    problem_->constraint_taxa[i].for_each([&](std::size_t t) {
+      if (inserted_.test(t)) common.push_back(static_cast<TaxonId>(t));
+    });
+    const auto a = phylo::restrict_to(agile_, common);
+    const auto b = phylo::restrict_to(problem_->constraints[i], common);
+    if (!phylo::same_topology(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace gentrius::core

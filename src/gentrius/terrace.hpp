@@ -1,0 +1,129 @@
+// Terrace: the per-thread Gentrius state.
+//
+// Mirrors the Terrace class of the paper's §III-B: the agile tree, the
+// constraint trees (shared, read-only, via Problem) and the double-edge
+// mappings between agile-tree branches and common-subtree branches. Every
+// thread owns one instance and performs all taxon insertions/removals on it;
+// nothing here is thread-safe by design (paper: "each thread exclusively
+// works on its own copy of the agile tree").
+//
+// Mapping machinery (paper §II-A, supplement of Chernomor et al. 2023): for
+// constraint tree T_i with common taxa C = inserted ∩ Y_i (|C| >= 2), every
+// edge of a binary tree maps onto exactly one edge of the common subtree
+// S = agile|C. We identify S-edges by a canonical 64-bit XOR hash of the
+// C-taxa on one side (side-symmetric via min(h, h ^ H_C)). One DFS over the
+// agile tree yields each edge's S-edge key plus per-key preimage counts; one
+// DFS over T_i yields, for every not-yet-inserted taxon x in Y_i, the key
+// ê_i(x) of the S-edge x attaches to. The admissible branches of x are the
+// agile edges whose key equals ê_i(x) for every constraining i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gentrius/options.hpp"
+#include "gentrius/problem.hpp"
+#include "phylo/tree.hpp"
+#include "support/bitset.hpp"
+#include "support/key_map.hpp"
+
+namespace gentrius::core {
+
+using phylo::EdgeId;
+using phylo::InsertRecord;
+using phylo::TaxonId;
+using phylo::VertexId;
+using phylo::kNoId;
+using phylo::kNoTaxon;
+
+class Terrace {
+ public:
+  /// incremental: maintain the double-edge mappings across insertions and
+  /// removals (a taxon insertion recomputes only the constraints that
+  /// contain the taxon; for every other computed constraint the two new
+  /// edges provably map onto the same common-subtree edge as the split
+  /// edge, an O(1) bucket update). Off = recompute every active constraint
+  /// at every state, the cost profile the paper's future-work section
+  /// measures at 15-30 % of total runtime.
+  explicit Terrace(const Problem& problem, bool incremental = true);
+
+  const phylo::Tree& agile() const noexcept { return agile_; }
+  const Problem& problem() const noexcept { return *problem_; }
+
+  std::size_t remaining_count() const noexcept { return remaining_.size(); }
+  const std::vector<TaxonId>& remaining() const noexcept { return remaining_; }
+  bool is_inserted(TaxonId x) const { return inserted_.test(x); }
+
+  /// Outcome of selecting the next taxon at the current state.
+  struct Choice {
+    TaxonId taxon = kNoTaxon;
+    bool complete = false;  ///< no taxa remain: current agile tree is a stand tree
+    bool dead_end = false;  ///< some remaining taxon has no admissible branch
+  };
+
+  /// Dynamic taxon insertion (heuristic 2): evaluates the admissible-branch
+  /// count of every remaining taxon and picks the winner per the variant —
+  /// kMinBranches: fewest admissible branches (ties: lowest taxon id);
+  /// kMostConstrained: most active constraint trees (ties: fewest branches).
+  /// Fills `branches` with the winner's admissible branches. A zero count
+  /// anywhere is a dead end regardless of variant.
+  Choice choose_dynamic(
+      std::vector<EdgeId>& branches,
+      Options::DynamicVariant variant = Options::DynamicVariant::kMinBranches);
+
+  /// Static-order variant: the admissible branches of a *given* taxon.
+  /// dead_end is set when the set is empty.
+  Choice choose_static(TaxonId taxon, std::vector<EdgeId>& branches);
+
+  /// Inserts taxon x on agile edge e (must be admissible; unchecked here).
+  InsertRecord insert(TaxonId x, EdgeId e);
+
+  /// Exact inverse of the matching insert.
+  void remove(const InsertRecord& rec);
+
+  /// Checks the root invariant: agile|C_i == T_i|C_i for every constraint.
+  /// Must hold before enumeration starts; when it fails the stand is empty.
+  bool initial_state_consistent() const;
+
+ private:
+  void ensure_mappings();
+  /// DFS pass described above. agile_side: record per-edge keys + bucket
+  /// counts for constraint slot i; otherwise record target keys for the
+  /// remaining taxa of constraint i.
+  void map_tree(const phylo::Tree& tree, const support::Bitset& y,
+                std::size_t i, bool agile_side);
+  /// Exact number of admissible branches for x (mappings must be current).
+  std::size_t count_for(TaxonId x);
+  void collect_branches(TaxonId x, std::vector<EdgeId>& out);
+  /// Active constraint slots of x: |C_i| >= 2. Fills scratch_js_.
+  void gather_constraints(TaxonId x);
+
+  const Problem* problem_;
+  phylo::Tree agile_;
+  support::Bitset inserted_;
+  std::vector<TaxonId> remaining_;  // ascending
+
+  // Per-constraint incremental bookkeeping.
+  std::vector<std::uint32_t> common_count_;     // |inserted ∩ Y_i|
+  std::vector<std::uint32_t> remaining_in_;     // |Y_i \ inserted|
+  std::vector<char> active_;                    // usable mapping this state
+
+  // Mapping state. computed_[i]: edge_key_/bucket_/target_key_ hold a valid
+  // mapping for constraint i; dirty_[i]: constraint must be recomputed at
+  // the next ensure_mappings (its common taxon set changed).
+  bool incremental_ = true;
+  std::vector<char> computed_;
+  std::vector<char> dirty_;
+  std::vector<std::vector<std::uint64_t>> edge_key_;    // [i][edge]
+  std::vector<support::KeyMap> bucket_;                 // [i]: key -> preimage size
+  std::vector<std::vector<std::uint64_t>> target_key_;  // [i][taxon]
+
+  // DFS scratch, sized to the largest tree involved.
+  std::vector<VertexId> order_, stack_, parent_vertex_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> cnt_;
+  std::vector<std::uint64_t> xorv_, ctx_;
+  std::vector<std::uint32_t> scratch_js_;
+};
+
+}  // namespace gentrius::core

@@ -1,0 +1,57 @@
+#include "gentrius/verify.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "phylo/newick.hpp"
+#include "phylo/topology.hpp"
+#include "support/error.hpp"
+
+namespace gentrius::core {
+
+StandVerification verify_stand(const std::vector<phylo::Tree>& constraints,
+                               const std::vector<std::string>& stand_newicks,
+                               const phylo::TaxonSet& taxa) {
+  StandVerification v;
+
+  // Universe = union of constraint taxa.
+  std::vector<phylo::TaxonId> universe;
+  for (const auto& c : constraints)
+    for (const auto t : c.taxa()) universe.push_back(t);
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+
+  std::unordered_set<std::string> seen;
+  phylo::TaxonSet names = taxa;  // local copy: parsing must not add taxa
+  for (const auto& newick : stand_newicks) {
+    phylo::Tree tree;
+    try {
+      tree = phylo::parse_newick(newick, names, {.register_new_taxa = false});
+    } catch (const support::Error& e) {
+      v.error = "unparsable stand tree: " + std::string(e.what());
+      return v;
+    }
+    if (tree.taxa() != universe) {
+      v.error = "stand tree does not cover the full taxon set: " + newick;
+      return v;
+    }
+    const std::string canon = phylo::canonical_encoding(tree);
+    if (!seen.insert(canon).second) {
+      v.error = "duplicate stand tree: " + newick;
+      return v;
+    }
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      if (!phylo::displays(tree, constraints[i])) {
+        v.error = "stand tree violates constraint " + std::to_string(i) +
+                  ": " + newick;
+        return v;
+      }
+    }
+    ++v.trees_checked;
+  }
+  v.ok = true;
+  return v;
+}
+
+}  // namespace gentrius::core

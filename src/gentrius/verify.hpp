@@ -1,0 +1,29 @@
+// Stand verification: independent checking of an enumerated stand.
+//
+// The paper verifies that serial and parallel runs generate identical
+// stands; this utility goes further and checks a collected stand against
+// the *definition*: every tree is on the full taxon universe, displays
+// every constraint tree, and no tree appears twice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+
+namespace gentrius::core {
+
+struct StandVerification {
+  bool ok = false;
+  std::size_t trees_checked = 0;
+  std::string error;  ///< empty when ok
+};
+
+/// Verifies stand trees given as Newick strings (the collect_trees output
+/// with Options::tree_names set). Labels are resolved against `taxa`.
+StandVerification verify_stand(const std::vector<phylo::Tree>& constraints,
+                               const std::vector<std::string>& stand_newicks,
+                               const phylo::TaxonSet& taxa);
+
+}  // namespace gentrius::core

@@ -1,0 +1,94 @@
+#include "oracle/brute_force.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "phylo/topology.hpp"
+#include "support/check.hpp"
+
+namespace gentrius::oracle {
+
+using phylo::TaxonId;
+using phylo::Tree;
+
+namespace {
+
+void enumerate(Tree& work, const std::vector<TaxonId>& taxa, std::size_t next,
+               const std::function<void(const Tree&)>& emit) {
+  if (next == taxa.size()) {
+    emit(work);
+    return;
+  }
+  // Edge ids are dense while only this recursion mutates the tree (LIFO
+  // reuse restores density after each remove).
+  const std::size_t n_edges = work.edge_count();
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    const auto rec = work.insert_leaf(taxa[next], static_cast<phylo::EdgeId>(e));
+    enumerate(work, taxa, next + 1, emit);
+    work.remove_leaf(rec);
+  }
+}
+
+void for_all_trees(const std::vector<TaxonId>& taxa,
+                   const std::function<void(const Tree&)>& emit) {
+  GENTRIUS_CHECK(!taxa.empty());
+  if (taxa.size() <= 3) {
+    Tree t = Tree::star(taxa);
+    emit(t);
+    return;
+  }
+  Tree work = Tree::star({taxa[0], taxa[1], taxa[2]});
+  work.reserve_for_leaves(taxa.size());
+  enumerate(work, taxa, 3, emit);
+}
+
+std::vector<TaxonId> universe(const std::vector<Tree>& constraints) {
+  std::vector<TaxonId> all;
+  for (const auto& t : constraints)
+    for (const TaxonId x : t.taxa()) all.push_back(x);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace
+
+std::uint64_t tree_space_size(std::size_t n) {
+  if (n <= 3) return 1;
+  std::uint64_t r = 1;
+  for (std::size_t k = 4; k <= n; ++k) r *= 2 * k - 5;
+  return r;
+}
+
+std::vector<Tree> all_trees(const std::vector<TaxonId>& taxa) {
+  std::vector<Tree> out;
+  out.reserve(tree_space_size(taxa.size()));
+  for_all_trees(taxa, [&](const Tree& t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<std::string> brute_force_stand(
+    const std::vector<Tree>& constraints) {
+  const auto taxa = universe(constraints);
+  std::vector<std::string> stand;
+  for_all_trees(taxa, [&](const Tree& t) {
+    for (const auto& c : constraints)
+      if (!phylo::displays(t, c)) return;
+    stand.push_back(phylo::canonical_encoding(t));
+  });
+  std::sort(stand.begin(), stand.end());
+  return stand;
+}
+
+std::uint64_t brute_force_stand_count(const std::vector<Tree>& constraints) {
+  const auto taxa = universe(constraints);
+  std::uint64_t count = 0;
+  for_all_trees(taxa, [&](const Tree& t) {
+    for (const auto& c : constraints)
+      if (!phylo::displays(t, c)) return;
+    ++count;
+  });
+  return count;
+}
+
+}  // namespace gentrius::oracle

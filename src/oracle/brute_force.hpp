@@ -1,0 +1,33 @@
+// Ground-truth oracle: stand computation by exhaustive enumeration.
+//
+// Enumerates all (2n-5)!! unrooted binary trees on the taxon universe and
+// filters by the display criterion. Exponential — usable up to ~9 taxa —
+// but directly implements the *definition* of a stand (paper §II-A), so it
+// is independent of every algorithmic idea Gentrius uses and serves as the
+// correctness reference for the whole engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace gentrius::oracle {
+
+/// All unrooted binary trees on the given taxa (>= 1 taxon).
+std::vector<phylo::Tree> all_trees(const std::vector<phylo::TaxonId>& taxa);
+
+/// Number of unrooted binary trees on n taxa: (2n-5)!! (1 for n <= 3).
+std::uint64_t tree_space_size(std::size_t n);
+
+/// The stand by definition: every tree on the union of the constraint
+/// taxa that displays every constraint. Returned as sorted canonical
+/// encodings (phylo::canonical_encoding).
+std::vector<std::string> brute_force_stand(
+    const std::vector<phylo::Tree>& constraints);
+
+std::uint64_t brute_force_stand_count(
+    const std::vector<phylo::Tree>& constraints);
+
+}  // namespace gentrius::oracle

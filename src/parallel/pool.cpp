@@ -1,0 +1,193 @@
+#include "parallel/pool.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "gentrius/counters.hpp"
+#include "gentrius/enumerator.hpp"
+#include "parallel/task_queue.hpp"
+#include "support/stopwatch.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gentrius::parallel {
+
+using core::CounterSink;
+using core::Enumerator;
+using core::Options;
+using core::Problem;
+using core::Result;
+using core::StopReason;
+
+namespace {
+
+struct WorkerOutput {
+  std::vector<std::string> trees;
+  std::uint64_t tasks_offered = 0;
+  std::uint64_t tasks_executed = 0;
+  Enumerator::Prefix::Outcome prefix_outcome =
+      Enumerator::Prefix::Outcome::kEmpty;
+  std::size_t prefix_length = 0;
+  std::size_t split_branches = 0;
+};
+
+/// Slice [begin, begin+len) of the I0 branch set assigned to thread `tid`
+/// ("as uniformly as possible", paper §III-A).
+std::pair<std::size_t, std::size_t> slice_for(std::size_t tid,
+                                              std::size_t n_threads,
+                                              std::size_t total) {
+  const std::size_t base = total / n_threads;
+  const std::size_t extra = total % n_threads;
+  const std::size_t begin = tid * base + std::min(tid, extra);
+  const std::size_t len = base + (tid < extra ? 1 : 0);
+  return {begin, len};
+}
+
+/// Steps the enumerator until its current assignment is exhausted or a
+/// stopping rule fires. Returns true when stopped.
+bool drain(Enumerator& e) {
+  for (;;) {
+    switch (e.step()) {
+      case Enumerator::Step::kWorked:
+        continue;
+      case Enumerator::Step::kExhausted:
+        return false;
+      case Enumerator::Step::kStopped:
+        return true;
+    }
+  }
+}
+
+void worker_body(std::size_t tid, std::size_t n_threads,
+                 const Problem& problem, const Options& options,
+                 CounterSink& sink, TaskQueue* queue, WorkerOutput& out) {
+  // Each thread builds its private Terrace and re-executes the deterministic
+  // prefix (paper: "the first stages of execution are identical across all
+  // threads"); only thread 0 counts those states.
+  Enumerator e(problem, options, sink);
+  if (queue != nullptr) e.set_task_sink(queue);
+
+  const auto& prefix = e.run_prefix(/*count=*/tid == 0);
+  out.prefix_outcome = prefix.outcome;
+  out.prefix_length = prefix.length;
+  out.split_branches = prefix.branches.size();
+
+  bool stopped = false;
+  if (prefix.outcome == Enumerator::Prefix::Outcome::kSplit) {
+    const auto [begin, len] =
+        slice_for(tid, n_threads, prefix.branches.size());
+    if (len > 0) {
+      std::vector<core::EdgeId> slice(
+          prefix.branches.begin() + static_cast<std::ptrdiff_t>(begin),
+          prefix.branches.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      e.begin_branches(prefix.split_taxon, std::move(slice));
+      stopped = drain(e);
+    }
+  }
+
+  if (queue != nullptr) {
+    while (!stopped) {
+      auto task = queue->pop(sink);
+      if (!task) break;
+      e.adopt_task(*task);
+      ++out.tasks_executed;
+      stopped = drain(e);
+      if (!stopped) e.rewind_to_split();
+    }
+    if (stopped) queue->broadcast_stop();
+  }
+
+  e.counters().flush_all();
+  out.trees = std::move(e.collected_trees());
+  out.tasks_offered = e.tasks_offered();
+}
+
+Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
+                double seconds) {
+  Result result;
+  result.stand_trees = sink.stand_trees();
+  result.intermediate_states = sink.states();
+  result.dead_ends = sink.dead_ends();
+  result.reason = sink.reason();
+  result.seconds = seconds;
+  const WorkerOutput& first = outputs.front();
+  result.prefix_length = first.prefix_length;
+  result.initial_split_branches = first.split_branches;
+  if (first.prefix_outcome == Enumerator::Prefix::Outcome::kEmpty)
+    result.reason = StopReason::kEmptyStand;
+  for (auto& o : outputs) {
+    result.tasks_executed += o.tasks_executed;
+    result.trees.insert(result.trees.end(),
+                        std::make_move_iterator(o.trees.begin()),
+                        std::make_move_iterator(o.trees.end()));
+  }
+  return result;
+}
+
+Result run_pool(const Problem& problem, const Options& options,
+                std::size_t n_threads, LaunchMode mode, bool work_stealing) {
+  support::Stopwatch clock;
+  CounterSink sink(options.stop);
+  std::vector<WorkerOutput> outputs(n_threads);
+  TaskQueue queue(queue_capacity_for(n_threads), n_threads);
+  TaskQueue* queue_ptr = work_stealing ? &queue : nullptr;
+
+  if (n_threads == 1) {
+    // Degenerate pool: still exercises the worker path, minus the queue.
+    worker_body(0, 1, problem, options, sink, queue_ptr, outputs[0]);
+    return assemble(sink, outputs, clock.seconds());
+  }
+
+#ifdef _OPENMP
+  if (mode == LaunchMode::kOpenMP) {
+    // Paper fidelity: OpenMP creates/destroys the threads while the
+    // condition-variable synchronization stays with the C++ thread library.
+#pragma omp parallel num_threads(static_cast<int>(n_threads))
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      worker_body(tid, n_threads, problem, options, sink, queue_ptr,
+                  outputs[tid]);
+    }
+    return assemble(sink, outputs, clock.seconds());
+  }
+#else
+  (void)mode;
+#endif
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n_threads);
+    for (std::size_t tid = 0; tid < n_threads; ++tid) {
+      threads.emplace_back([&, tid] {
+        worker_body(tid, n_threads, problem, options, sink, queue_ptr,
+                    outputs[tid]);
+      });
+    }
+  }  // jthreads join here
+  return assemble(sink, outputs, clock.seconds());
+}
+
+}  // namespace
+
+Result run_parallel(const Problem& problem, const Options& options,
+                    std::size_t n_threads, LaunchMode mode) {
+  return run_pool(problem, options, n_threads, mode, /*work_stealing=*/true);
+}
+
+Result run_static_split(const Problem& problem, const Options& options,
+                        std::size_t n_threads) {
+  return run_pool(problem, options, n_threads, LaunchMode::kStdThread,
+                  /*work_stealing=*/false);
+}
+
+bool openmp_available() noexcept {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace gentrius::parallel

@@ -1,0 +1,91 @@
+// Bounded work-stealing task queue (paper §III-A/B).
+//
+// Working threads push tasks; idle threads block on a condition variable
+// until a task arrives or the run terminates. The capacity follows the
+// paper's rule: N_t + 1 tasks for N_t < 8 threads, N_t / 2 otherwise —
+// enough to keep the pool fed without flooding it with tiny subproblems.
+//
+// Termination detection: the queue tracks how many workers are busy. The
+// last worker to go idle with an empty queue declares the run finished and
+// wakes everyone. A stopping rule (CounterSink) also releases all waiters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "gentrius/counters.hpp"
+#include "gentrius/enumerator.hpp"
+
+namespace gentrius::parallel {
+
+/// Capacity rule from the paper (empirically tuned by the authors).
+inline std::size_t queue_capacity_for(std::size_t n_threads) {
+  return n_threads < 8 ? n_threads + 1 : n_threads / 2;
+}
+
+class TaskQueue final : public core::TaskSink {
+ public:
+  /// All `workers` participants start in the busy state.
+  TaskQueue(std::size_t capacity, std::size_t workers)
+      : capacity_(capacity), busy_(workers) {}
+
+  /// Producer side (called from inside Enumerator::step). Non-blocking:
+  /// a full queue rejects the task and the producer keeps the branches.
+  bool try_push(core::Task&& task) override {
+    {
+      std::scoped_lock lock(mutex_);
+      if (done_ || tasks_.size() >= capacity_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: transitions the caller from busy to idle, blocks until
+  /// work arrives, and hands out a task (caller becomes busy again).
+  /// Returns nullopt when the pool terminated — all workers idle with an
+  /// empty queue — or a stopping rule fired.
+  std::optional<core::Task> pop(const core::CounterSink& sink) {
+    std::unique_lock lock(mutex_);
+    if (--busy_ == 0 && tasks_.empty()) {
+      done_ = true;
+      lock.unlock();
+      cv_.notify_all();
+      return std::nullopt;
+    }
+    for (;;) {
+      cv_.wait(lock, [&] {
+        return !tasks_.empty() || done_ || sink.stop_requested();
+      });
+      if (done_ || sink.stop_requested()) return std::nullopt;
+      if (!tasks_.empty()) {
+        core::Task task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++busy_;
+        return task;
+      }
+    }
+  }
+
+  /// Wakes all waiters (after a stopping rule fired).
+  void broadcast_stop() {
+    {
+      std::scoped_lock lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<core::Task> tasks_;
+  std::size_t busy_;
+  bool done_ = false;
+};
+
+}  // namespace gentrius::parallel

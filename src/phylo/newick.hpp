@@ -1,0 +1,41 @@
+// Newick parsing and serialization for unrooted binary trees.
+//
+// Parsing accepts the common Newick dialect: quoted labels ('..' with ''
+// escapes), branch lengths (parsed and discarded — stands are a topological
+// concept), bracketed comments, internal-node labels (ignored) and arbitrary
+// whitespace. Rooted representations with a degree-2 root are unrooted by
+// suppressing the root. Non-binary trees are rejected unless explicitly
+// allowed — the Gentrius compatibility criterion (equal restrictions on
+// common taxa) is only equivalent to pairwise compatibility for fully
+// resolved trees.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "phylo/tree.hpp"
+
+namespace gentrius::phylo {
+
+struct NewickOptions {
+  /// When true, unknown labels are added to the TaxonSet; when false an
+  /// unknown label raises InvalidInput.
+  bool register_new_taxa = true;
+  /// Reject trees with unresolved (degree > 3) internal vertices.
+  bool require_binary = true;
+};
+
+/// Parses a single Newick string (terminating ';' optional).
+Tree parse_newick(std::string_view text, TaxonSet& taxa,
+                  const NewickOptions& options = {});
+
+/// Serializes the tree. Deterministic but layout-dependent; for topology
+/// comparison use canonical_newick.
+std::string to_newick(const Tree& tree, const TaxonSet& taxa);
+
+/// Canonical serialization: independent of internal ids and of the
+/// insertion history. Two trees on the same taxa have equal canonical
+/// Newick strings iff they are topologically identical.
+std::string canonical_newick(const Tree& tree, const TaxonSet& taxa);
+
+}  // namespace gentrius::phylo

@@ -1,0 +1,217 @@
+#include "phylo/splits.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace gentrius::phylo {
+
+using support::Bitset;
+using support::InvalidInput;
+
+std::vector<Bitset> tree_splits(const Tree& tree, std::size_t universe_size) {
+  const auto taxa = tree.taxa();
+  std::vector<Bitset> out;
+  if (taxa.size() < 4) return out;
+
+  // Root at the lowest taxon's leaf: every below-side then canonically
+  // excludes the reference taxon.
+  const VertexId root = tree.leaf_of(taxa[0]);
+  struct Item {
+    VertexId v, from;
+    bool expanded;
+  };
+  std::vector<Item> stack{{tree.vertex(root).adj[0].to, root, false}};
+  // below[v] valid after the post-visit of v.
+  std::vector<Bitset> below(tree.vertex_capacity());
+  while (!stack.empty()) {
+    // Copy out: push_back below invalidates references into the stack.
+    const VertexId v = stack.back().v;
+    const VertexId from = stack.back().from;
+    const bool expanded = stack.back().expanded;
+    const auto& vx = tree.vertex(v);
+    if (vx.taxon != kNoTaxon) {
+      below[v] = Bitset(universe_size);
+      below[v].set(vx.taxon);
+      stack.pop_back();
+      continue;
+    }
+    if (!expanded) {
+      stack.back().expanded = true;
+      for (std::uint8_t i = 0; i < vx.degree; ++i)
+        if (vx.adj[i].to != from) stack.push_back({vx.adj[i].to, v, false});
+      continue;
+    }
+    Bitset acc(universe_size);
+    for (std::uint8_t i = 0; i < vx.degree; ++i)
+      if (vx.adj[i].to != from) acc |= below[vx.adj[i].to];
+    const std::size_t c = acc.count();
+    if (c >= 2 && c <= taxa.size() - 2) out.push_back(acc);
+    below[v] = std::move(acc);
+    stack.pop_back();
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t universe_for(const Tree& a) {
+  const auto t = a.taxa();
+  return t.empty() ? 0 : t.back() + 1;
+}
+
+std::vector<std::vector<std::uint32_t>> split_keys(const Tree& t,
+                                                   std::size_t universe) {
+  std::vector<std::vector<std::uint32_t>> keys;
+  for (const auto& s : tree_splits(t, universe)) keys.push_back(s.to_indices());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+std::size_t rf_distance(const Tree& a, const Tree& b) {
+  if (a.taxa() != b.taxa())
+    throw InvalidInput("rf_distance: trees are on different leaf sets");
+  const std::size_t universe = universe_for(a);
+  const auto ka = split_keys(a, universe);
+  const auto kb = split_keys(b, universe);
+  std::size_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < ka.size() && j < kb.size()) {
+    if (ka[i] == kb[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (ka[i] < kb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return ka.size() + kb.size() - 2 * common;
+}
+
+MultiTree MultiTree::from_splits(const std::vector<TaxonId>& taxa,
+                                 const std::vector<Bitset>& splits,
+                                 std::size_t universe_size) {
+  GENTRIUS_CHECK(!taxa.empty());
+  MultiTree tree;
+  tree.leaves_ = taxa.size();
+
+  // Deduplicate and order by ascending cardinality: the parent of a cluster
+  // is then the first strictly later cluster containing it.
+  std::vector<Bitset> clusters = splits;
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Bitset& a, const Bitset& b) {
+              const auto ca = a.count(), cb = b.count();
+              if (ca != cb) return ca < cb;
+              return a.to_indices() < b.to_indices();
+            });
+  clusters.erase(std::unique(clusters.begin(), clusters.end()),
+                 clusters.end());
+
+  // Nodes: one per taxon, one per cluster, plus the root.
+  const std::uint32_t first_cluster_node = static_cast<std::uint32_t>(taxa.size());
+  for (const TaxonId t : taxa) {
+    Node leaf;
+    leaf.taxon = t;
+    tree.nodes_.push_back(std::move(leaf));
+  }
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    tree.nodes_.emplace_back();
+  const std::uint32_t root =
+      static_cast<std::uint32_t>(tree.nodes_.size());
+  tree.nodes_.emplace_back();
+  tree.root_ = root;
+  tree.internal_edges_ = clusters.size();
+
+  auto parent_cluster = [&](std::size_t from, const Bitset& set,
+                            bool strict) -> std::uint32_t {
+    for (std::size_t j = from; j < clusters.size(); ++j) {
+      if (strict && clusters[j] == set) continue;
+      if (set.is_subset_of(clusters[j]))
+        return first_cluster_node + static_cast<std::uint32_t>(j);
+      if (set.intersects(clusters[j]) && !set.is_subset_of(clusters[j]))
+        throw InvalidInput("from_splits: split family is not laminar");
+    }
+    return root;
+  };
+
+  // Cluster parents (and the laminarity check against all larger clusters).
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const std::uint32_t parent = parent_cluster(c + 1, clusters[c], false);
+    tree.nodes_[parent].children.push_back(
+        first_cluster_node + static_cast<std::uint32_t>(c));
+  }
+  // Leaf parents: the smallest cluster containing the taxon.
+  Bitset single(universe_size);
+  for (std::size_t k = 0; k < taxa.size(); ++k) {
+    single.clear();
+    single.set(taxa[k]);
+    const std::uint32_t parent = parent_cluster(0, single, false);
+    tree.nodes_[parent].children.push_back(static_cast<std::uint32_t>(k));
+  }
+  return tree;
+}
+
+namespace {
+
+void write_multi(const MultiTree& tree, std::uint32_t node,
+                 const TaxonSet& taxa, std::string& out) {
+  const auto& nd = tree.nodes()[node];
+  if (nd.taxon != kNoTaxon) {
+    out += taxa.name(nd.taxon);
+    return;
+  }
+  out.push_back('(');
+  for (std::size_t i = 0; i < nd.children.size(); ++i) {
+    if (i) out.push_back(',');
+    write_multi(tree, nd.children[i], taxa, out);
+  }
+  out.push_back(')');
+}
+
+}  // namespace
+
+std::string MultiTree::to_newick(const TaxonSet& taxa) const {
+  std::string out;
+  write_multi(*this, root_, taxa, out);
+  out.push_back(';');
+  return out;
+}
+
+MultiTree strict_consensus(const std::vector<Tree>& trees) {
+  return majority_consensus(trees, 1.0 - 1e-9);
+}
+
+MultiTree majority_consensus(const std::vector<Tree>& trees,
+                             double threshold) {
+  GENTRIUS_CHECK(!trees.empty());
+  const auto taxa = trees.front().taxa();
+  const std::size_t universe = taxa.empty() ? 0 : taxa.back() + 1;
+  for (const auto& t : trees) {
+    if (t.taxa() != taxa)
+      throw InvalidInput("consensus: trees are on different leaf sets");
+  }
+  std::map<std::vector<std::uint32_t>, std::size_t> counts;
+  for (const auto& t : trees)
+    for (const auto& s : tree_splits(t, universe)) ++counts[s.to_indices()];
+
+  // Strictly-greater-than semantics: classic majority rule keeps splits in
+  // more than half the trees; threshold ~1 keeps splits in all of them.
+  const double needed = threshold * static_cast<double>(trees.size());
+  std::vector<Bitset> kept;
+  for (const auto& [indices, count] : counts) {
+    if (static_cast<double>(count) > needed) {
+      Bitset b(universe);
+      for (const auto i : indices) b.set(i);
+      kept.push_back(std::move(b));
+    }
+  }
+  return MultiTree::from_splits(taxa, kept, universe);
+}
+
+}  // namespace gentrius::phylo

@@ -1,0 +1,76 @@
+// Splits (bipartitions), Robinson-Foulds distance, strict consensus.
+//
+// Post-analysis machinery for stands: the paper's closing discussion
+// positions stand identification as input to downstream uncertainty
+// analysis — which parts of the tree are actually resolved when millions of
+// trees score identically? The strict consensus of the stand answers that;
+// split support and RF distances quantify the spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+#include "support/bitset.hpp"
+
+namespace gentrius::phylo {
+
+/// The non-trivial splits of an unrooted tree, canonicalized: each split is
+/// stored as the side NOT containing the tree's lowest taxon, as a bitset
+/// over [0, universe_size). A binary tree on n >= 3 leaves has n-3 of them.
+std::vector<support::Bitset> tree_splits(const Tree& tree,
+                                         std::size_t universe_size);
+
+/// Robinson-Foulds distance: |splits(a) Δ splits(b)|. Both trees must be on
+/// the same leaf set (throws InvalidInput otherwise).
+std::size_t rf_distance(const Tree& a, const Tree& b);
+
+/// General (possibly multifurcating) tree built from a laminar split
+/// family; the result type of consensus computations, since Tree itself is
+/// strictly binary.
+class MultiTree {
+ public:
+  struct Node {
+    TaxonId taxon = kNoTaxon;  ///< kNoTaxon for internal nodes
+    std::vector<std::uint32_t> children;
+  };
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  std::uint32_t root() const noexcept { return root_; }
+
+  /// Number of internal edges (= splits represented). A fully resolved
+  /// unrooted tree on n leaves has n-3; 0 means a star (nothing resolved).
+  std::size_t internal_edge_count() const noexcept { return internal_edges_; }
+
+  std::size_t leaf_count() const noexcept { return leaves_; }
+
+  std::string to_newick(const TaxonSet& taxa) const;
+
+  /// Builds the tree realizing exactly the given laminar family of splits
+  /// over the given taxa (each split: canonical side, must not contain
+  /// taxa.front()). Throws InvalidInput when the family is not laminar.
+  static MultiTree from_splits(const std::vector<TaxonId>& taxa,
+                               const std::vector<support::Bitset>& splits,
+                               std::size_t universe_size);
+
+ private:
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+  std::size_t internal_edges_ = 0;
+  std::size_t leaves_ = 0;
+};
+
+/// Strict consensus: the (generally multifurcating) tree whose splits are
+/// exactly those present in every input tree. All trees must share one leaf
+/// set; at least one tree required.
+MultiTree strict_consensus(const std::vector<Tree>& trees);
+
+/// Majority-rule consensus: splits present in more than `threshold` of the
+/// trees (0.5 = classic majority rule; any threshold >= 0.5 yields a
+/// compatible family).
+MultiTree majority_consensus(const std::vector<Tree>& trees,
+                             double threshold = 0.5);
+
+}  // namespace gentrius::phylo

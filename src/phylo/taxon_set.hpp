@@ -1,0 +1,52 @@
+// Taxon name <-> dense id mapping shared by all trees of a dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gentrius::phylo {
+
+using TaxonId = std::uint32_t;
+inline constexpr TaxonId kNoTaxon = static_cast<TaxonId>(-1);
+
+/// Registry of taxon labels. Ids are assigned densely in insertion order, so
+/// they can index bitsets and arrays directly.
+class TaxonSet {
+ public:
+  /// Adds a taxon (or returns the existing id for a known label).
+  TaxonId add(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<TaxonId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Id of a known label; throws InvalidInput for unknown labels.
+  TaxonId id_of(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    if (it == index_.end())
+      throw support::InvalidInput("unknown taxon label: " + std::string(name));
+    return it->second;
+  }
+
+  bool contains(std::string_view name) const {
+    return index_.find(std::string(name)) != index_.end();
+  }
+
+  const std::string& name(TaxonId id) const { return names_.at(id); }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TaxonId> index_;
+};
+
+}  // namespace gentrius::phylo

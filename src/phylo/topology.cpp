@@ -1,0 +1,143 @@
+#include "phylo/topology.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/check.hpp"
+
+namespace gentrius::phylo {
+namespace {
+
+/// Recursive worker for restrict_to: walks `src` away from `from`, emitting
+/// kept leaves and suppressing pass-through vertices into `dst`.
+/// Returns the dst vertex rooting the shrunken subtree, or nullopt when the
+/// subtree holds no kept taxon.
+std::optional<VertexId> shrink(const Tree& src, Tree& dst,
+                               const std::vector<char>& kept, VertexId v,
+                               VertexId from) {
+  const auto& vx = src.vertex(v);
+  if (vx.taxon != kNoTaxon) {
+    if (vx.taxon < kept.size() && kept[vx.taxon])
+      return dst.alloc_vertex(vx.taxon);
+    return std::nullopt;
+  }
+  std::optional<VertexId> found[2];
+  int n = 0;
+  for (std::uint8_t i = 0; i < vx.degree; ++i) {
+    if (vx.adj[i].to == from) continue;
+    auto sub = shrink(src, dst, kept, vx.adj[i].to, v);
+    if (sub) found[n++] = sub;
+  }
+  if (n == 0) return std::nullopt;
+  if (n == 1) return found[0];  // degree-2 suppression
+  const VertexId inner = dst.alloc_vertex(kNoTaxon);
+  dst.alloc_edge(inner, *found[0]);
+  dst.alloc_edge(inner, *found[1]);
+  return inner;
+}
+
+void encode_subtree(const Tree& tree, VertexId v, VertexId from,
+                    std::string& out) {
+  const auto& vx = tree.vertex(v);
+  if (vx.taxon != kNoTaxon) {
+    out += std::to_string(vx.taxon);
+    return;
+  }
+  std::string parts[2];
+  int n = 0;
+  for (std::uint8_t i = 0; i < vx.degree; ++i) {
+    if (vx.adj[i].to == from) continue;
+    encode_subtree(tree, vx.adj[i].to, v, parts[n++]);
+  }
+  GENTRIUS_DCHECK(n == 2);
+  if (parts[1] < parts[0]) std::swap(parts[0], parts[1]);
+  out.push_back('(');
+  out += parts[0];
+  out.push_back(',');
+  out += parts[1];
+  out.push_back(')');
+}
+
+}  // namespace
+
+Tree restrict_to(const Tree& tree, const std::vector<TaxonId>& keep) {
+  std::vector<char> kept;
+  std::vector<TaxonId> present;
+  for (const TaxonId t : keep) {
+    if (!tree.has_taxon(t)) continue;
+    if (t >= kept.size()) kept.resize(t + 1, 0);
+    if (!kept[t]) {
+      kept[t] = 1;
+      present.push_back(t);
+    }
+  }
+  std::sort(present.begin(), present.end());
+
+  Tree out;
+  if (present.empty()) return out;
+  out.reserve_for_leaves(present.size());
+  if (present.size() == 1) {
+    out.alloc_vertex(present[0]);
+    return out;
+  }
+  // Root the walk at a kept leaf so every pass-through decision is local.
+  const VertexId root_leaf = tree.leaf_of(present[0]);
+  const VertexId root = out.alloc_vertex(present[0]);
+  const auto& rvx = tree.vertex(root_leaf);
+  GENTRIUS_CHECK(rvx.degree == 1);
+  auto sub = shrink(tree, out, kept, rvx.adj[0].to, root_leaf);
+  GENTRIUS_CHECK(sub.has_value());
+  out.alloc_edge(root, *sub);
+  return out;
+}
+
+std::string canonical_encoding(const Tree& tree) {
+  const auto present = tree.taxa();
+  if (present.empty()) return "";
+  if (present.size() == 1) return std::to_string(present[0]);
+  const VertexId leaf = tree.leaf_of(present[0]);
+  std::string out = std::to_string(present[0]);
+  out.push_back('|');
+  const auto& vx = tree.vertex(leaf);
+  encode_subtree(tree, vx.adj[0].to, leaf, out);
+  return out;
+}
+
+std::uint64_t topology_hash(const Tree& tree) {
+  const std::string enc = canonical_encoding(tree);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : enc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool same_topology(const Tree& a, const Tree& b) {
+  if (a.taxa() != b.taxa()) return false;
+  return canonical_encoding(a) == canonical_encoding(b);
+}
+
+std::vector<TaxonId> common_taxa(const Tree& a, const Tree& b) {
+  const auto ta = a.taxa();
+  const auto tb = b.taxa();
+  std::vector<TaxonId> out;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+bool displays(const Tree& big, const Tree& small) {
+  const auto small_taxa = small.taxa();
+  for (const TaxonId t : small_taxa)
+    if (!big.has_taxon(t)) return false;
+  return same_topology(restrict_to(big, small_taxa), small);
+}
+
+bool compatible(const Tree& a, const Tree& b) {
+  const auto c = common_taxa(a, b);
+  if (c.size() < 4) return true;
+  return same_topology(restrict_to(a, c), restrict_to(b, c));
+}
+
+}  // namespace gentrius::phylo

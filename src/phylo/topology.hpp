@@ -1,0 +1,44 @@
+// Topological operations: restriction (induced subtrees), canonical
+// encodings, display and compatibility tests.
+//
+// These implement the formal machinery of the paper's Section II-A:
+//   T displays T_i        <=>  T|Y_i == T_i
+//   T1, T2 compatible     <=>  T1|(C) == T2|(C) for C = common taxa
+// (the latter equivalence holds for fully resolved/binary trees, which is
+// all this library handles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace gentrius::phylo {
+
+/// The subtree of `tree` induced by the taxa in `keep` (ids; need not all be
+/// present in the tree): prune non-kept leaves, suppress degree-2 vertices.
+Tree restrict_to(const Tree& tree, const std::vector<TaxonId>& keep);
+
+/// Canonical, id-based encoding of the topology. Equal encodings <=> equal
+/// leaf sets and equal topologies. Independent of construction history.
+std::string canonical_encoding(const Tree& tree);
+
+/// 64-bit hash of canonical_encoding (FNV-1a); collision-safe usage is the
+/// caller's concern (tests always fall back to the full encoding).
+std::uint64_t topology_hash(const Tree& tree);
+
+/// True iff both trees exist on the same leaf set with the same topology.
+bool same_topology(const Tree& a, const Tree& b);
+
+/// Sorted vector of taxa present in both trees.
+std::vector<TaxonId> common_taxa(const Tree& a, const Tree& b);
+
+/// True iff `big` displays `small` (small's taxa must all be in big).
+bool displays(const Tree& big, const Tree& small);
+
+/// True iff a tree exists displaying both (binary-tree criterion: equal
+/// restrictions to the common taxa; vacuously true when |common| < 4).
+bool compatible(const Tree& a, const Tree& b);
+
+}  // namespace gentrius::phylo

@@ -1,0 +1,296 @@
+#include "phylo/tree.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gentrius::phylo {
+
+Tree Tree::star(const std::vector<TaxonId>& taxa) {
+  GENTRIUS_CHECK(taxa.size() <= 3);
+  Tree t;
+  if (taxa.empty()) return t;
+  const VertexId a = t.alloc_vertex(taxa[0]);
+  if (taxa.size() == 1) return t;
+  const VertexId b = t.alloc_vertex(taxa[1]);
+  t.alloc_edge(a, b);
+  if (taxa.size() == 2) return t;
+  // Three taxa: subdivide the single edge and hang the third leaf.
+  t.insert_leaf(taxa[2], 0);
+  return t;
+}
+
+std::vector<EdgeId> Tree::live_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    if (edges_[e].alive) out.push_back(e);
+  return out;
+}
+
+std::vector<TaxonId> Tree::taxa() const {
+  std::vector<TaxonId> out;
+  for (TaxonId t = 0; t < leaf_of_taxon_.size(); ++t)
+    if (leaf_of_taxon_[t] != kNoId) out.push_back(t);
+  return out;
+}
+
+VertexId Tree::any_vertex() const noexcept {
+  for (VertexId v = 0; v < vertices_.size(); ++v)
+    if (vertices_[v].alive) return v;
+  return kNoId;
+}
+
+void Tree::reserve_for_leaves(std::size_t max_leaves) {
+  if (max_leaves < 2) return;
+  vertices_.reserve(2 * max_leaves - 2);
+  edges_.reserve(2 * max_leaves - 3);
+  leaf_of_taxon_.reserve(max_leaves);
+}
+
+VertexId Tree::alloc_vertex(TaxonId taxon) {
+  VertexId v;
+  if (!free_vertices_.empty()) {
+    v = free_vertices_.back();
+    free_vertices_.pop_back();
+  } else {
+    v = static_cast<VertexId>(vertices_.size());
+    vertices_.emplace_back();
+  }
+  Vertex& vx = vertices_[v];
+  vx.degree = 0;
+  vx.taxon = taxon;
+  vx.alive = true;
+  ++live_vertices_;
+  if (taxon != kNoTaxon) note_leaf(taxon, v);
+  return v;
+}
+
+EdgeId Tree::alloc_edge(VertexId a, VertexId b) {
+  EdgeId e;
+  if (!free_edges_.empty()) {
+    e = free_edges_.back();
+    free_edges_.pop_back();
+  } else {
+    e = static_cast<EdgeId>(edges_.size());
+    edges_.emplace_back();
+  }
+  edges_[e] = Edge{a, b, true};
+  attach_half(a, e, b);
+  attach_half(b, e, a);
+  ++live_edges_;
+  return e;
+}
+
+void Tree::unlink_edge(EdgeId e) {
+  GENTRIUS_CHECK(e < edges_.size() && edges_[e].alive);
+  detach_half(edges_[e].u, e);
+  detach_half(edges_[e].v, e);
+  free_edge(e);
+}
+
+void Tree::drop_isolated_vertex(VertexId v) {
+  GENTRIUS_CHECK(v < vertices_.size() && vertices_[v].alive);
+  GENTRIUS_CHECK(vertices_[v].degree == 0);
+  free_vertex(v);
+}
+
+void Tree::note_leaf(TaxonId taxon, VertexId v) {
+  if (taxon >= leaf_of_taxon_.size()) leaf_of_taxon_.resize(taxon + 1, kNoId);
+  GENTRIUS_DCHECK(leaf_of_taxon_[taxon] == kNoId);
+  leaf_of_taxon_[taxon] = v;
+  ++live_leaves_;
+}
+
+void Tree::attach_half(VertexId v, EdgeId e, VertexId to) {
+  Vertex& vx = vertices_[v];
+  GENTRIUS_DCHECK(vx.alive && vx.degree < 3);
+  vx.adj[vx.degree++] = HalfEdge{e, to};
+}
+
+void Tree::detach_half(VertexId v, EdgeId e) {
+  Vertex& vx = vertices_[v];
+  for (std::uint8_t i = 0; i < vx.degree; ++i) {
+    if (vx.adj[i].edge == e) {
+      vx.adj[i] = vx.adj[--vx.degree];
+      return;
+    }
+  }
+  GENTRIUS_CHECK(false && "detach_half: edge not incident");
+}
+
+void Tree::relink_half(VertexId v, EdgeId e, EdgeId new_edge, VertexId new_to) {
+  Vertex& vx = vertices_[v];
+  for (std::uint8_t i = 0; i < vx.degree; ++i) {
+    if (vx.adj[i].edge == e) {
+      vx.adj[i] = HalfEdge{new_edge, new_to};
+      return;
+    }
+  }
+  GENTRIUS_CHECK(false && "relink_half: edge not incident");
+}
+
+void Tree::free_vertex(VertexId v) {
+  Vertex& vx = vertices_[v];
+  GENTRIUS_DCHECK(vx.alive && vx.degree == 0);
+  if (vx.taxon != kNoTaxon) {
+    leaf_of_taxon_[vx.taxon] = kNoId;
+    vx.taxon = kNoTaxon;
+    --live_leaves_;
+  }
+  vx.alive = false;
+  --live_vertices_;
+  free_vertices_.push_back(v);
+}
+
+void Tree::free_edge(EdgeId e) {
+  GENTRIUS_DCHECK(edges_[e].alive);
+  edges_[e].alive = false;
+  --live_edges_;
+  free_edges_.push_back(e);
+}
+
+InsertRecord Tree::insert_leaf(TaxonId taxon, EdgeId at) {
+  GENTRIUS_CHECK(at < edges_.size() && edges_[at].alive);
+  GENTRIUS_CHECK(!has_taxon(taxon));
+  const VertexId u = edges_[at].u;
+  const VertexId v = edges_[at].v;
+
+  // Allocation order matters: remove_leaf frees in the mirrored order so the
+  // next insert_leaf reuses identical ids (replay determinism).
+  const VertexId w = alloc_vertex(kNoTaxon);
+  const VertexId l = alloc_vertex(taxon);
+
+  // Redirect the far half of `at` to the junction: at becomes u--w.
+  detach_half(v, at);
+  edges_[at].v = w;
+  // Fix u's half if v was stored as u (edge endpoints are unordered; we keep
+  // `u` as the retained endpoint).
+  relink_half(u, at, at, w);
+  attach_half(w, at, u);
+
+  const EdgeId e2 = alloc_edge(w, v);
+  const EdgeId e3 = alloc_edge(w, l);
+
+  return InsertRecord{taxon, at, e2, e3, w, l, v};
+}
+
+InsertRecord Tree::insert_leaf_small(TaxonId taxon) {
+  GENTRIUS_CHECK(!has_taxon(taxon));
+  InsertRecord rec;
+  rec.taxon = taxon;
+  if (live_vertices_ == 0) {
+    rec.leaf = alloc_vertex(taxon);
+    return rec;
+  }
+  GENTRIUS_CHECK(live_vertices_ == 1);
+  const VertexId a = any_vertex();
+  rec.leaf = alloc_vertex(taxon);
+  rec.leaf_edge = alloc_edge(a, rec.leaf);
+  rec.far_end = a;
+  return rec;
+}
+
+void Tree::remove_leaf(const InsertRecord& rec) {
+  if (rec.junction == kNoId) {
+    // Inverse of insert_leaf_small.
+    if (rec.leaf_edge != kNoId) {
+      detach_half(rec.far_end, rec.leaf_edge);
+      detach_half(rec.leaf, rec.leaf_edge);
+      free_edge(rec.leaf_edge);
+    }
+    free_vertex(rec.leaf);
+    return;
+  }
+  const VertexId u = edges_[rec.split_edge].u;
+  const VertexId w = rec.junction;
+  const VertexId v = rec.far_end;
+  GENTRIUS_DCHECK(edges_[rec.split_edge].v == w);
+  GENTRIUS_DCHECK(edges_[rec.moved_edge].u == w && edges_[rec.moved_edge].v == v);
+
+  // Drop the pendant edge and leaf.
+  detach_half(w, rec.leaf_edge);
+  detach_half(rec.leaf, rec.leaf_edge);
+  free_edge(rec.leaf_edge);
+
+  // Merge split_edge + moved_edge back into split_edge = (u, v).
+  detach_half(v, rec.moved_edge);
+  detach_half(w, rec.moved_edge);
+  free_edge(rec.moved_edge);
+
+  detach_half(w, rec.split_edge);
+  edges_[rec.split_edge].v = v;
+  relink_half(u, rec.split_edge, rec.split_edge, v);
+  attach_half(v, rec.split_edge, u);
+
+  // Free vertices mirroring the allocation order in insert_leaf (w then l ->
+  // free l then w so the LIFO stack replays identically).
+  free_vertex(rec.leaf);
+  free_vertex(w);
+}
+
+void Tree::validate() const {
+  std::size_t seen_edges = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edges_[e].alive) continue;
+    ++seen_edges;
+    const Edge& ed = edges_[e];
+    GENTRIUS_CHECK(ed.u < vertices_.size() && vertices_[ed.u].alive);
+    GENTRIUS_CHECK(ed.v < vertices_.size() && vertices_[ed.v].alive);
+    auto incident = [&](VertexId x, VertexId expect_to) {
+      const Vertex& vx = vertices_[x];
+      for (std::uint8_t i = 0; i < vx.degree; ++i)
+        if (vx.adj[i].edge == e) {
+          GENTRIUS_CHECK(vx.adj[i].to == expect_to);
+          return true;
+        }
+      return false;
+    };
+    GENTRIUS_CHECK(incident(ed.u, ed.v));
+    GENTRIUS_CHECK(incident(ed.v, ed.u));
+  }
+  GENTRIUS_CHECK(seen_edges == live_edges_);
+
+  std::size_t leaves = 0;
+  std::size_t verts = 0;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!vertices_[v].alive) continue;
+    ++verts;
+    const Vertex& vx = vertices_[v];
+    if (vx.taxon != kNoTaxon) {
+      ++leaves;
+      GENTRIUS_CHECK(leaf_of_taxon_[vx.taxon] == v);
+      GENTRIUS_CHECK(vx.degree <= 1);
+    } else {
+      GENTRIUS_CHECK(vx.degree == 3);
+    }
+  }
+  GENTRIUS_CHECK(verts == live_vertices_);
+  if (leaves >= 2) GENTRIUS_CHECK(live_edges_ == 2 * leaves - 3 || leaves == 2);
+  if (leaves == 2) GENTRIUS_CHECK(live_edges_ == 1);
+  if (leaves >= 3) GENTRIUS_CHECK(live_edges_ == 2 * leaves - 3);
+
+  // Connectivity: BFS from any vertex must reach all live vertices.
+  if (verts > 0) {
+    std::vector<char> visited(vertices_.size(), 0);
+    std::vector<VertexId> queue{any_vertex()};
+    visited[queue[0]] = 1;
+    std::size_t reached = 0;
+    while (!queue.empty()) {
+      const VertexId x = queue.back();
+      queue.pop_back();
+      ++reached;
+      const Vertex& vx = vertices_[x];
+      for (std::uint8_t i = 0; i < vx.degree; ++i) {
+        const VertexId y = vx.adj[i].to;
+        if (!visited[y]) {
+          visited[y] = 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    GENTRIUS_CHECK(reached == verts);
+  }
+}
+
+}  // namespace gentrius::phylo

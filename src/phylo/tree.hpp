@@ -1,0 +1,167 @@
+// Unrooted binary tree with stable vertex/edge identifiers.
+//
+// This is the workhorse structure of the whole project. The Gentrius
+// enumerator performs millions of leaf insertions and removals on its agile
+// tree; both operations are O(1) here, and removal restores the *exact*
+// pre-insertion identifiers (via the InsertRecord protocol plus LIFO free
+// lists), which makes branch lists recorded before an insertion remain valid
+// after the matching removal — the property the branch-and-bound recursion
+// and the parallel task replay both rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "support/check.hpp"
+
+namespace gentrius::phylo {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr std::uint32_t kNoId = static_cast<std::uint32_t>(-1);
+
+/// Undo record returned by Tree::insert_leaf and consumed by
+/// Tree::remove_leaf. Treat as opaque.
+struct InsertRecord {
+  TaxonId taxon = kNoTaxon;
+  EdgeId split_edge = kNoId;  ///< pre-existing edge that kept its id (now u--w)
+  EdgeId moved_edge = kNoId;  ///< freshly allocated edge (w--v)
+  EdgeId leaf_edge = kNoId;   ///< freshly allocated pendant edge (w--leaf)
+  VertexId junction = kNoId;  ///< freshly allocated internal vertex w
+  VertexId leaf = kNoId;      ///< freshly allocated leaf vertex
+  VertexId far_end = kNoId;   ///< endpoint v that moved from split_edge to moved_edge
+};
+
+class Tree {
+ public:
+  struct HalfEdge {
+    EdgeId edge = kNoId;
+    VertexId to = kNoId;
+  };
+
+  struct Vertex {
+    std::array<HalfEdge, 3> adj{};
+    std::uint8_t degree = 0;
+    TaxonId taxon = kNoTaxon;  ///< kNoTaxon for internal vertices
+    bool alive = false;
+  };
+
+  struct Edge {
+    VertexId u = kNoId;
+    VertexId v = kNoId;
+    bool alive = false;
+  };
+
+  Tree() = default;
+
+  /// Builds the unique tree on one, two, or three taxa.
+  static Tree star(const std::vector<TaxonId>& taxa);
+
+  // ---- observers -----------------------------------------------------------
+
+  std::size_t leaf_count() const noexcept { return live_leaves_; }
+  std::size_t vertex_capacity() const noexcept { return vertices_.size(); }
+  std::size_t edge_capacity() const noexcept { return edges_.size(); }
+
+  /// Number of live edges: 2*leaves - 3 for binary trees with >= 2 leaves.
+  std::size_t edge_count() const noexcept { return live_edges_; }
+
+  bool vertex_alive(VertexId v) const noexcept { return vertices_[v].alive; }
+  bool edge_alive(EdgeId e) const noexcept { return edges_[e].alive; }
+
+  const Vertex& vertex(VertexId v) const {
+    GENTRIUS_DCHECK(v < vertices_.size() && vertices_[v].alive);
+    return vertices_[v];
+  }
+
+  const Edge& edge(EdgeId e) const {
+    GENTRIUS_DCHECK(e < edges_.size() && edges_[e].alive);
+    return edges_[e];
+  }
+
+  /// Vertex carrying the given taxon, or kNoId if the taxon is not in the tree.
+  VertexId leaf_of(TaxonId taxon) const noexcept {
+    return taxon < leaf_of_taxon_.size() ? leaf_of_taxon_[taxon] : kNoId;
+  }
+
+  bool has_taxon(TaxonId taxon) const noexcept { return leaf_of(taxon) != kNoId; }
+
+  VertexId other_end(EdgeId e, VertexId from) const {
+    const Edge& ed = edge(e);
+    GENTRIUS_DCHECK(ed.u == from || ed.v == from);
+    return ed.u == from ? ed.v : ed.u;
+  }
+
+  /// All live edge ids in ascending order (fresh vector; use for iteration
+  /// that must be independent of internal layout).
+  std::vector<EdgeId> live_edges() const;
+
+  /// All taxa present, ascending.
+  std::vector<TaxonId> taxa() const;
+
+  /// Invokes fn(EdgeId) for every live edge.
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e)
+      if (edges_[e].alive) fn(e);
+  }
+
+  /// An arbitrary live vertex (deterministic), kNoId on the empty tree.
+  VertexId any_vertex() const noexcept;
+
+  // ---- mutation ------------------------------------------------------------
+
+  /// Grafts taxon onto edge `at`: the edge is subdivided by a fresh internal
+  /// vertex to which a fresh leaf is attached. O(1). The returned record must
+  /// be passed to remove_leaf to undo the operation exactly.
+  InsertRecord insert_leaf(TaxonId taxon, EdgeId at);
+
+  /// Special case: grow a 1-leaf tree to 2 leaves, or 2 to 3 (no edge choice
+  /// exists, or the single edge is implied). Returns the record.
+  InsertRecord insert_leaf_small(TaxonId taxon);
+
+  /// Exact inverse of the insert_leaf call that produced `rec`. After the
+  /// call, all vertex and edge ids are as before that insert, and the next
+  /// insert_leaf will reuse the same fresh ids (LIFO free lists).
+  void remove_leaf(const InsertRecord& rec);
+
+  /// Reserve internal storage for trees up to `max_leaves`.
+  void reserve_for_leaves(std::size_t max_leaves);
+
+  /// Structural sanity check (degrees, symmetry, single component). Throws
+  /// InternalError on violation. Intended for tests.
+  void validate() const;
+
+  // ---- construction helpers (used by parsers/builders) ----------------------
+
+  VertexId alloc_vertex(TaxonId taxon);
+  EdgeId alloc_edge(VertexId a, VertexId b);
+
+  /// Detaches and frees an edge (construction-time helper; ids carry no
+  /// stability contract at this point).
+  void unlink_edge(EdgeId e);
+
+  /// Frees a vertex whose edges have all been unlinked.
+  void drop_isolated_vertex(VertexId v);
+
+ private:
+  void attach_half(VertexId v, EdgeId e, VertexId to);
+  void detach_half(VertexId v, EdgeId e);
+  void relink_half(VertexId v, EdgeId e, EdgeId new_edge, VertexId new_to);
+  void free_vertex(VertexId v);
+  void free_edge(EdgeId e);
+  void note_leaf(TaxonId taxon, VertexId v);
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<VertexId> leaf_of_taxon_;  // indexed by TaxonId; kNoId when absent
+  std::vector<VertexId> free_vertices_;  // LIFO
+  std::vector<EdgeId> free_edges_;       // LIFO
+  std::size_t live_edges_ = 0;
+  std::size_t live_vertices_ = 0;
+  std::size_t live_leaves_ = 0;
+};
+
+}  // namespace gentrius::phylo

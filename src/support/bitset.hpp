@@ -1,0 +1,156 @@
+// Dynamic fixed-width bitset used for taxon sets.
+//
+// Taxon sets are dense (indices 0..n-1 with n up to a few thousand), so a
+// word-packed bitset beats std::set / unordered_set by a wide margin for the
+// intersection-heavy operations Gentrius performs at every state.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace gentrius::support {
+
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Constructs an all-zero set over the universe [0, universe_size).
+  explicit Bitset(std::size_t universe_size)
+      : size_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+  std::size_t universe_size() const noexcept { return size_; }
+
+  void resize(std::size_t universe_size) {
+    size_ = universe_size;
+    words_.assign((universe_size + 63) / 64, 0);
+  }
+
+  bool test(std::size_t i) const noexcept {
+    GENTRIUS_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  void set(std::size_t i) noexcept {
+    GENTRIUS_DCHECK(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) noexcept {
+    GENTRIUS_DCHECK(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool empty() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// |*this ∩ other|. Universes must match.
+  std::size_t intersection_count(const Bitset& other) const noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    return c;
+  }
+
+  Bitset& operator|=(const Bitset& other) noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& other) noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// Removes from *this every element of other.
+  Bitset& subtract(const Bitset& other) noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const Bitset& other) const noexcept = default;
+
+  /// True iff every element of *this is in other.
+  bool is_subset_of(const Bitset& other) const noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    return true;
+  }
+
+  /// True iff the sets share at least one element.
+  bool intersects(const Bitset& other) const noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    return false;
+  }
+
+  /// Lowest index set in both this and other, or universe_size() when the
+  /// intersection is empty.
+  std::size_t first_common(const Bitset& other) const noexcept {
+    GENTRIUS_DCHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t w = words_[i] & other.words_[i];
+      if (w != 0)
+        return (i << 6) + static_cast<std::size_t>(std::countr_zero(w));
+    }
+    return size_;
+  }
+
+  /// Index of the lowest set bit, or universe_size() when empty.
+  std::size_t first() const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] != 0)
+        return (i << 6) + static_cast<std::size_t>(std::countr_zero(words_[i]));
+    return size_;
+  }
+
+  /// Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(w));
+        fn((i << 6) + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Materializes the set as a sorted index vector.
+  std::vector<std::uint32_t> to_indices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    for_each([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+    return out;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gentrius::support

@@ -1,0 +1,33 @@
+// Lightweight internal invariant checks.
+//
+// GENTRIUS_CHECK is always on (cheap conditions guarding API misuse and data
+// structure invariants); GENTRIUS_DCHECK compiles away in release builds and
+// is used inside performance-critical loops.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace gentrius::support::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("invariant failed: ") + expr + " at " + file +
+                      ":" + std::to_string(line));
+}
+
+}  // namespace gentrius::support::detail
+
+#define GENTRIUS_CHECK(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]]                                                 \
+      ::gentrius::support::detail::check_failed(#expr, __FILE__, __LINE__);   \
+  } while (false)
+
+#ifdef NDEBUG
+#define GENTRIUS_DCHECK(expr) \
+  do {                        \
+  } while (false)
+#else
+#define GENTRIUS_DCHECK(expr) GENTRIUS_CHECK(expr)
+#endif

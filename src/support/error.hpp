@@ -1,0 +1,42 @@
+// Exception types thrown by the public API.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gentrius::support {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed textual input (Newick strings, PAM files, ...).
+class ParseError : public Error {
+ public:
+  ParseError(std::string message, std::size_t position)
+      : Error(message + " (at offset " + std::to_string(position) + ")"),
+        position_(position) {}
+
+  /// Byte offset in the input at which parsing failed.
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Structurally valid but semantically unusable input
+/// (duplicate taxa, non-binary trees, empty loci, PAM/tree mismatches, ...).
+class InvalidInput : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace gentrius::support

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of this project (dataset generation, shuffling,
+// property-test instance sampling) draw from the generators defined here so
+// that every experiment and test is exactly reproducible from a 64-bit seed.
+// std::mt19937 and std::random_device are deliberately avoided: their
+// distributions are not guaranteed to be bit-identical across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gentrius::support {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); public-domain reference implementation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Deterministic across platforms; the only generator used at runtime.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's nearly-divisionless rejection method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fisher–Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-dataset streams).
+  Rng split() noexcept { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace gentrius::support

@@ -1,0 +1,231 @@
+#include "vthread/virtual_pool.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "gentrius/counters.hpp"
+#include "gentrius/enumerator.hpp"
+#include "parallel/task_queue.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gentrius::vthread {
+
+using core::CounterSink;
+using core::Enumerator;
+using core::Options;
+using core::Problem;
+using core::Result;
+using core::StopReason;
+using core::Task;
+
+namespace {
+
+/// Simulated bounded queue. Single real thread: no locking; the push cost is
+/// charged to whichever worker's clock is installed as the producer.
+class VirtualQueue final : public core::TaskSink {
+ public:
+  VirtualQueue(std::size_t capacity, double queue_cost)
+      : capacity_(capacity), queue_cost_(queue_cost) {}
+
+  void set_producer_clock(double* clock) { producer_clock_ = clock; }
+
+  bool try_push(Task&& task) override {
+    if (entries_.size() >= capacity_) return false;
+    GENTRIUS_DCHECK(producer_clock_ != nullptr);
+    *producer_clock_ += queue_cost_;
+    entries_.push_back({std::move(task), *producer_clock_});
+    return true;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  double front_available_at() const { return entries_.front().available_at; }
+
+  Task pop_front() {
+    Task t = std::move(entries_.front().task);
+    entries_.pop_front();
+    return t;
+  }
+
+ private:
+  struct Entry {
+    Task task;
+    double available_at;
+  };
+  const std::size_t capacity_;
+  const double queue_cost_;
+  std::deque<Entry> entries_;
+  double* producer_clock_ = nullptr;
+};
+
+struct VWorker {
+  std::unique_ptr<Enumerator> enumerator;
+  double clock = 0.0;
+  enum class State { kRunning, kIdle, kDone } state = State::kIdle;
+  std::uint64_t last_flushes = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+Result run_simulation(const Problem& problem, const Options& user_options,
+                      std::size_t n_threads, const CostModel& costs,
+                      const VirtualRules& rules, bool work_stealing) {
+  GENTRIUS_CHECK(n_threads >= 1);
+  support::Stopwatch wall;
+
+  Options options = user_options;
+  const bool serial = n_threads == 1;
+  if (serial) {
+    // Sequential Gentrius uses plain global counters: exact limits, no
+    // publication cost.
+    options.tree_flush_batch = 1;
+    options.state_flush_batch = 1;
+    options.dead_end_flush_batch = 1;
+  }
+  const double flush_unit =
+      serial ? 0.0
+             : costs.flush_cost +
+                   costs.flush_contention * static_cast<double>(n_threads - 1);
+
+  CounterSink sink(options.stop);
+  VirtualQueue queue(parallel::queue_capacity_for(n_threads), costs.queue_cost);
+
+  std::vector<VWorker> workers(n_threads);
+  Result result;
+
+  // --- startup: spawn, private prefix replay, initial split slices --------
+  for (std::size_t tid = 0; tid < n_threads; ++tid) {
+    VWorker& w = workers[tid];
+    w.enumerator = std::make_unique<Enumerator>(problem, options, sink);
+    if (work_stealing && !serial) w.enumerator->set_task_sink(&queue);
+    w.clock = serial ? 0.0 : costs.spawn_cost;
+    const auto& prefix = w.enumerator->run_prefix(/*count=*/tid == 0);
+    w.clock += static_cast<double>(prefix.length) * costs.state_cost;
+    if (tid == 0) {
+      result.prefix_length = prefix.length;
+      if (prefix.outcome == Enumerator::Prefix::Outcome::kSplit)
+        result.initial_split_branches = prefix.branches.size();
+      if (prefix.outcome == Enumerator::Prefix::Outcome::kEmpty)
+        result.reason = StopReason::kEmptyStand;
+    }
+    if (prefix.outcome == Enumerator::Prefix::Outcome::kSplit) {
+      const std::size_t total = prefix.branches.size();
+      const std::size_t base = total / n_threads;
+      const std::size_t extra = total % n_threads;
+      const std::size_t begin = tid * base + std::min(tid, extra);
+      const std::size_t len = base + (tid < extra ? 1 : 0);
+      if (len > 0) {
+        std::vector<core::EdgeId> slice(
+            prefix.branches.begin() + static_cast<std::ptrdiff_t>(begin),
+            prefix.branches.begin() + static_cast<std::ptrdiff_t>(begin + len));
+        w.enumerator->begin_branches(prefix.split_taxon, std::move(slice));
+        w.state = VWorker::State::kRunning;
+      }
+    }
+  }
+
+  // --- event loop: always advance the earliest actionable worker ----------
+  const double inf = std::numeric_limits<double>::infinity();
+  for (;;) {
+    // Earliest running worker.
+    std::size_t run_idx = n_threads;
+    double run_time = inf;
+    // Earliest idle worker (a potential thief).
+    std::size_t idle_idx = n_threads;
+    double idle_clock = inf;
+    for (std::size_t i = 0; i < n_threads; ++i) {
+      const VWorker& w = workers[i];
+      if (w.state == VWorker::State::kRunning && w.clock < run_time) {
+        run_time = w.clock;
+        run_idx = i;
+      }
+      if (w.state == VWorker::State::kIdle && w.clock < idle_clock) {
+        idle_clock = w.clock;
+        idle_idx = i;
+      }
+    }
+    const bool stopped = sink.stop_requested();
+    double steal_time = inf;
+    if (work_stealing && !stopped && idle_idx < n_threads && !queue.empty())
+      steal_time = std::max(idle_clock, queue.front_available_at());
+
+    if (run_idx == n_threads && steal_time == inf) break;  // quiescent
+
+    if (steal_time < run_time) {
+      // An idle worker dequeues the oldest task and replays its path.
+      VWorker& w = workers[idle_idx];
+      const Task task = queue.pop_front();
+      w.clock = steal_time + costs.queue_cost;
+      const std::size_t replayed = w.enumerator->adopt_task(task);
+      w.clock += static_cast<double>(replayed) * costs.replay_cost;
+      ++w.tasks_executed;
+      w.state = VWorker::State::kRunning;
+      continue;
+    }
+
+    VWorker& w = workers[run_idx];
+    if (rules.max_virtual_time && w.clock >= *rules.max_virtual_time)
+      sink.request_stop(StopReason::kTimeLimit);
+
+    queue.set_producer_clock(&w.clock);
+    const auto step = w.enumerator->step();
+    const std::uint64_t flushes = w.enumerator->counters().flush_count();
+    w.clock += costs.state_cost +
+               static_cast<double>(flushes - w.last_flushes) * flush_unit;
+    w.last_flushes = flushes;
+
+    switch (step) {
+      case Enumerator::Step::kWorked:
+        break;
+      case Enumerator::Step::kExhausted: {
+        const std::size_t removed = w.enumerator->rewind_to_split();
+        w.clock += static_cast<double>(removed) * costs.rewind_cost;
+        w.state = (work_stealing && !serial) ? VWorker::State::kIdle
+                                             : VWorker::State::kDone;
+        break;
+      }
+      case Enumerator::Step::kStopped:
+        w.state = VWorker::State::kDone;
+        break;
+    }
+  }
+
+  // --- teardown ------------------------------------------------------------
+  double makespan = 0.0;
+  for (VWorker& w : workers) {
+    w.enumerator->counters().flush_all();
+    makespan = std::max(makespan, w.clock);
+    result.tasks_executed += w.tasks_executed;
+    auto& trees = w.enumerator->collected_trees();
+    result.trees.insert(result.trees.end(),
+                        std::make_move_iterator(trees.begin()),
+                        std::make_move_iterator(trees.end()));
+  }
+  result.stand_trees = sink.stand_trees();
+  result.intermediate_states = sink.states();
+  result.dead_ends = sink.dead_ends();
+  if (result.reason != StopReason::kEmptyStand) result.reason = sink.reason();
+  result.virtual_makespan = makespan;
+  result.seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace
+
+Result run_virtual(const Problem& problem, const Options& options,
+                   std::size_t n_threads, const CostModel& costs,
+                   const VirtualRules& rules) {
+  return run_simulation(problem, options, n_threads, costs, rules,
+                        /*work_stealing=*/true);
+}
+
+Result run_virtual_static_split(const Problem& problem, const Options& options,
+                                std::size_t n_threads, const CostModel& costs,
+                                const VirtualRules& rules) {
+  return run_simulation(problem, options, n_threads, costs, rules,
+                        /*work_stealing=*/false);
+}
+
+}  // namespace gentrius::vthread

@@ -1,0 +1,65 @@
+// Virtual-time execution of parallel Gentrius.
+//
+// The paper's evaluation platform is a 48-core Xeon; this reproduction runs
+// where only one hardware core may be available, so parallel *speedups*
+// cannot be observed from wall-clock time. Instead, this driver executes
+// the identical scheduling policy as src/parallel — N_t workers, the same
+// bounded task queue with the same capacity rule, the same ≥3-remaining-taxa
+// splitting rule, the same batched counter publication — as a deterministic
+// discrete-event simulation: each worker has a virtual clock, the globally
+// earliest runnable worker is stepped, and every operation is charged from
+// an explicit cost model. Load imbalance, speedup plateaus, stopping-rule
+// distortions and super-linear effects then emerge from exactly the
+// mechanism the paper describes, independent of host parallelism.
+//
+// Because workers are stepped in virtual-time order by a single OS thread,
+// the simulation is fully deterministic and repeatable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "gentrius/options.hpp"
+#include "gentrius/problem.hpp"
+
+namespace gentrius::vthread {
+
+/// Virtual cost of each operation, in abstract work units. One unit ~ one
+/// state expansion (the paper measures "hundreds of thousands of states per
+/// second", so 1 unit corresponds to a few microseconds of real time).
+struct CostModel {
+  double state_cost = 1.0;    ///< expanding a state / consuming a terminal event
+  double replay_cost = 0.15;  ///< per insertion when replaying a stolen task's path
+  double rewind_cost = 0.05;  ///< per removal returning to I0
+  double queue_cost = 0.5;    ///< one queue push or pop (critical section)
+  double spawn_cost = 200.0;  ///< per-thread creation/teardown (N_t > 1 only)
+  /// Atomic counter publication: a few hundred ns = a few percent of a state
+  /// expansion (paper §III-B cites [18]: up to a few thousand cycles).
+  double flush_cost = 0.02;
+  double flush_contention = 0.0015;  ///< extra cost per extra thread
+};
+
+struct VirtualRules {
+  /// Stopping rule 3 measured on the virtual clock (work units) instead of
+  /// wall-clock seconds. Unset = no virtual time limit.
+  std::optional<double> max_virtual_time;
+};
+
+/// Runs Gentrius on n_threads virtual workers. The returned Result carries
+/// the virtual makespan in Result::virtual_makespan (Result::seconds is the
+/// real single-core time the simulation itself took). For n_threads == 1
+/// this is sequential Gentrius with virtual-time accounting (no spawn or
+/// queue costs), the denominator of every speedup in the benchmarks.
+core::Result run_virtual(const core::Problem& problem,
+                         const core::Options& options, std::size_t n_threads,
+                         const CostModel& costs = {},
+                         const VirtualRules& rules = {});
+
+/// Ablation: initial split only, no work stealing.
+core::Result run_virtual_static_split(const core::Problem& problem,
+                                      const core::Options& options,
+                                      std::size_t n_threads,
+                                      const CostModel& costs = {},
+                                      const VirtualRules& rules = {});
+
+}  // namespace gentrius::vthread

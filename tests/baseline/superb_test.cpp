@@ -1,0 +1,107 @@
+// SUPERB baseline: validated against the brute-force oracle and against
+// Gentrius on comprehensive-taxon datasets (the only datasets SUPERB can
+// handle, which is exactly the limitation the paper's introduction makes).
+#include <gtest/gtest.h>
+
+#include "baseline/superb.hpp"
+#include "datagen/dataset.hpp"
+#include "gentrius/serial.hpp"
+#include "oracle/brute_force.hpp"
+#include "pam/pam.hpp"
+#include "phylo/newick.hpp"
+
+namespace gentrius {
+namespace {
+
+TEST(Superb, SingleTreeCountsOne) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),(c,d),(e,f));", taxa));
+  const auto comp = baseline::find_comprehensive_taxon(cs);
+  ASSERT_TRUE(comp.has_value());
+  const auto r = baseline::count_stand_superb(cs, *comp);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_FALSE(r.saturated);
+}
+
+TEST(Superb, RequiresComprehensiveTaxon) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),(c,d));", taxa));
+  cs.push_back(phylo::parse_newick("((a,b),(c,e));", taxa));
+  // d is absent from the second tree, e from the first; a is comprehensive.
+  EXPECT_FALSE(baseline::find_comprehensive_taxon(cs).has_value() &&
+               *baseline::find_comprehensive_taxon(cs) == taxa.id_of("d"));
+  EXPECT_THROW(baseline::count_stand_superb(cs, taxa.id_of("d")),
+               support::InvalidInput);
+}
+
+TEST(Superb, FreeTaxonStandMatchesOracle) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),c,(d,e));", taxa));
+  cs.push_back(phylo::parse_newick("(w,a,b);", taxa));
+  // 'a' and 'b' are comprehensive. Stand = 7 (w on any edge).
+  const auto comp = baseline::find_comprehensive_taxon(cs);
+  ASSERT_TRUE(comp.has_value());
+  const auto r = baseline::count_stand_superb(cs, *comp);
+  EXPECT_EQ(r.count, oracle::brute_force_stand_count(cs));
+  EXPECT_EQ(r.count, 7u);
+}
+
+class SuperbSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuperbSweep, MatchesOracleAndGentriusWithComprehensiveTaxon) {
+  datagen::SimulatedParams sp;
+  sp.n_taxa = 8;
+  sp.n_loci = 3;
+  sp.missing_fraction = 0.4;
+  sp.seed = GetParam();
+  auto ds = datagen::make_simulated(sp);
+  // Force taxon 0 comprehensive and regenerate the induced constraints.
+  for (std::size_t locus = 0; locus < ds.pam.locus_count(); ++locus)
+    ds.pam.set_present(0, locus, true);
+  ds.constraints = pam::induced_subtrees(ds.species_tree, ds.pam);
+  ASSERT_FALSE(ds.constraints.empty());
+
+  const auto comp = baseline::find_comprehensive_taxon(ds.constraints);
+  ASSERT_TRUE(comp.has_value());
+
+  const auto superb = baseline::count_stand_superb(ds.constraints, *comp);
+  const auto oracle_count = oracle::brute_force_stand_count(ds.constraints);
+  EXPECT_EQ(superb.count, oracle_count) << "seed=" << GetParam();
+
+  const auto gentrius = core::run_serial(ds.constraints, core::Options{});
+  EXPECT_EQ(gentrius.stand_trees, oracle_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuperbSweep,
+                         ::testing::Range<std::uint64_t>(3000, 3040));
+
+TEST(Superb, AgreesWithGentriusOnLargerInstances) {
+  // Beyond oracle reach: SUPERB and Gentrius validate each other.
+  for (std::uint64_t seed = 50; seed < 58; ++seed) {
+    datagen::SimulatedParams sp;
+    sp.n_taxa = 18;
+    sp.n_loci = 4;
+    sp.missing_fraction = 0.35;
+    sp.seed = seed;
+    auto ds = datagen::make_simulated(sp);
+    for (std::size_t locus = 0; locus < ds.pam.locus_count(); ++locus)
+      ds.pam.set_present(0, locus, true);
+    ds.constraints = pam::induced_subtrees(ds.species_tree, ds.pam);
+
+    const auto superb = baseline::count_stand_superb(ds.constraints, 0);
+    if (superb.saturated || superb.budget_exceeded) continue;
+
+    core::Options opts;
+    opts.stop.max_stand_trees = 50'000'000;
+    opts.stop.max_states = 500'000'000;
+    const auto gentrius = core::run_serial(ds.constraints, opts);
+    if (gentrius.reason != core::StopReason::kCompleted) continue;
+    EXPECT_EQ(superb.count, gentrius.stand_trees) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gentrius

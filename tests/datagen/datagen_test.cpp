@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/dataset.hpp"
+#include "datagen/tree_gen.hpp"
+#include "oracle/brute_force.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/topology.hpp"
+
+namespace gentrius::datagen {
+namespace {
+
+TEST(TreeGen, RandomTreeIsValidBinary) {
+  support::Rng rng(1);
+  for (const std::size_t n : {4u, 5u, 10u, 50u, 200u}) {
+    std::vector<phylo::TaxonId> taxa;
+    for (phylo::TaxonId i = 0; i < n; ++i) taxa.push_back(i);
+    const auto t = random_tree(taxa, rng);
+    t.validate();
+    EXPECT_EQ(t.leaf_count(), n);
+    EXPECT_EQ(t.edge_count(), 2 * n - 3);
+    const auto y = yule_tree(taxa, rng);
+    y.validate();
+    EXPECT_EQ(y.leaf_count(), n);
+  }
+}
+
+TEST(TreeGen, UniformModelIsRoughlyUniform) {
+  // 5 taxa: 15 topologies; chi-square-ish sanity check on frequencies.
+  support::Rng rng(12345);
+  std::vector<phylo::TaxonId> taxa{0, 1, 2, 3, 4};
+  std::map<std::string, int> freq;
+  const int trials = 15'000;
+  for (int i = 0; i < trials; ++i)
+    ++freq[phylo::canonical_encoding(random_tree(taxa, rng))];
+  EXPECT_EQ(freq.size(), 15u);
+  for (const auto& [enc, count] : freq) {
+    EXPECT_NEAR(count, trials / 15.0, 5 * std::sqrt(trials / 15.0)) << enc;
+  }
+}
+
+TEST(TreeGen, Deterministic) {
+  std::vector<phylo::TaxonId> taxa;
+  for (phylo::TaxonId i = 0; i < 30; ++i) taxa.push_back(i);
+  support::Rng a(7), b(7);
+  EXPECT_TRUE(phylo::same_topology(random_tree(taxa, a), random_tree(taxa, b)));
+}
+
+TEST(Dataset, SimulatedRespectsShape) {
+  SimulatedParams p;
+  p.n_taxa = 40;
+  p.n_loci = 6;
+  p.missing_fraction = 0.4;
+  p.seed = 9;
+  const auto ds = make_simulated(p);
+  EXPECT_EQ(ds.taxon_count(), 40u);
+  EXPECT_EQ(ds.pam.locus_count(), 6u);
+  EXPECT_TRUE(ds.pam.covers_all_taxa());
+  EXPECT_NEAR(ds.pam.missing_fraction(), 0.4, 0.12);
+  EXPECT_LE(ds.constraints.size(), 6u);
+  for (std::size_t locus = 0; locus < 6; ++locus)
+    EXPECT_GE(ds.pam.locus_taxa(locus).count(), 4u);
+  // Constraints are the induced subtrees: the species tree displays all.
+  for (const auto& c : ds.constraints)
+    EXPECT_TRUE(phylo::displays(ds.species_tree, c));
+}
+
+TEST(Dataset, SimulatedDeterministicAndSeedSensitive) {
+  SimulatedParams p;
+  p.seed = 77;
+  const auto a = make_simulated(p);
+  const auto b = make_simulated(p);
+  EXPECT_TRUE(phylo::same_topology(a.species_tree, b.species_tree));
+  EXPECT_EQ(a.pam.to_text(a.taxa), b.pam.to_text(b.taxa));
+  p.seed = 78;
+  const auto c = make_simulated(p);
+  EXPECT_NE(a.pam.to_text(a.taxa), c.pam.to_text(c.taxa));
+}
+
+TEST(Dataset, EmpiricalLikeHasBackboneAndTail) {
+  EmpiricalLikeParams p;
+  p.n_taxa = 60;
+  p.n_loci = 12;
+  p.seed = 5;
+  const auto ds = make_empirical_like(p);
+  EXPECT_TRUE(ds.pam.covers_all_taxa());
+  // Backbone locus: widely sampled — only base missingness and rogue taxa
+  // removed — and at least as full as any non-backbone locus.
+  EXPECT_GE(ds.pam.locus_taxa(0).count(), 40u);
+  for (std::size_t l = 1; l < p.n_loci; ++l)
+    EXPECT_GE(ds.pam.locus_taxa(0).count() + 3,
+              ds.pam.locus_taxa(l).count());
+  // Missingness varies across loci (heavy tail): spread should be wide.
+  std::size_t min_c = p.n_taxa, max_c = 0;
+  for (std::size_t l = 0; l < p.n_loci; ++l) {
+    min_c = std::min(min_c, ds.pam.locus_taxa(l).count());
+    max_c = std::max(max_c, ds.pam.locus_taxa(l).count());
+  }
+  EXPECT_GT(max_c - min_c, 10u);
+  for (const auto& c : ds.constraints)
+    EXPECT_TRUE(phylo::displays(ds.species_tree, c));
+}
+
+TEST(Dataset, NonEmptyStandGuarantee) {
+  // Constraints are induced from one species tree, so the species tree
+  // itself is always on the stand.
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    SimulatedParams p;
+    p.n_taxa = 7;
+    p.n_loci = 3;
+    p.seed = seed;
+    const auto ds = make_simulated(p);
+    EXPECT_GE(oracle::brute_force_stand_count(ds.constraints), 1u);
+  }
+}
+
+TEST(Oracle, TreeSpaceSizes) {
+  EXPECT_EQ(oracle::tree_space_size(3), 1u);
+  EXPECT_EQ(oracle::tree_space_size(4), 3u);
+  EXPECT_EQ(oracle::tree_space_size(5), 15u);
+  EXPECT_EQ(oracle::tree_space_size(6), 105u);
+  EXPECT_EQ(oracle::tree_space_size(8), 10395u);
+}
+
+TEST(Oracle, AllTreesAreDistinctAndComplete) {
+  const std::vector<phylo::TaxonId> taxa{0, 1, 2, 3, 4, 5};
+  const auto trees = oracle::all_trees(taxa);
+  EXPECT_EQ(trees.size(), 105u);
+  std::set<std::string> encodings;
+  for (const auto& t : trees) {
+    t.validate();
+    encodings.insert(phylo::canonical_encoding(t));
+  }
+  EXPECT_EQ(encodings.size(), 105u);
+}
+
+}  // namespace
+}  // namespace gentrius::datagen

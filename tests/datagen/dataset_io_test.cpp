@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/dataset.hpp"
+#include "datagen/dataset_io.hpp"
+#include "gentrius/serial.hpp"
+#include "phylo/topology.hpp"
+
+namespace gentrius::datagen {
+namespace {
+
+class DatasetIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gentrius_io_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIo, RoundTripPreservesEverything) {
+  SimulatedParams p;
+  p.n_taxa = 18;
+  p.n_loci = 4;
+  p.missing_fraction = 0.4;
+  p.seed = 321;
+  const auto original = make_simulated(p);
+  write_dataset(original, dir_.string());
+
+  const auto loaded = load_dataset(dir_.string());
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.taxa.size(), original.taxa.size());
+  EXPECT_EQ(loaded.pam.to_text(loaded.taxa), original.pam.to_text(original.taxa));
+  ASSERT_EQ(loaded.constraints.size(), original.constraints.size());
+  // Taxon ids may be permuted (PAM row order defines them on load); compare
+  // via the stand itself, which is label-invariant in size.
+  const auto a = core::run_serial(original.constraints, {});
+  const auto b = core::run_serial(loaded.constraints, {});
+  EXPECT_EQ(a.stand_trees, b.stand_trees);
+  EXPECT_EQ(a.intermediate_states, b.intermediate_states);
+  EXPECT_TRUE(phylo::displays(loaded.species_tree, loaded.constraints[0]));
+}
+
+TEST_F(DatasetIo, ConstraintOnlyDatasets) {
+  Dataset ds = make_plateau_instance(3, 0);
+  write_dataset(ds, dir_.string());
+  const auto loaded = load_dataset(dir_.string());
+  EXPECT_EQ(loaded.constraints.size(), ds.constraints.size());
+  EXPECT_EQ(loaded.pam.taxon_count(), 0u);
+  EXPECT_EQ(loaded.species_tree.leaf_count(), 0u);
+}
+
+TEST_F(DatasetIo, MissingDirectoryFails) {
+  EXPECT_THROW(load_dataset((dir_ / "nonexistent").string()),
+               support::InvalidInput);
+}
+
+}  // namespace
+}  // namespace gentrius::datagen

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "gentrius/counters.hpp"
+
+namespace gentrius::core {
+namespace {
+
+TEST(CounterSink, LimitsFireAndFirstReasonWins) {
+  StoppingRules rules;
+  rules.max_stand_trees = 100;
+  rules.max_states = 1000;
+  CounterSink sink(rules);
+  EXPECT_FALSE(sink.stop_requested());
+  sink.add_stand_trees(99);
+  EXPECT_FALSE(sink.stop_requested());
+  sink.add_stand_trees(1);
+  EXPECT_TRUE(sink.stop_requested());
+  EXPECT_EQ(sink.reason(), StopReason::kTreeLimit);
+  // A later state-limit crossing does not override the first reason.
+  sink.add_states(5000);
+  EXPECT_EQ(sink.reason(), StopReason::kTreeLimit);
+  EXPECT_EQ(sink.stand_trees(), 100u);
+  EXPECT_EQ(sink.states(), 5000u);
+}
+
+TEST(CounterSink, TimeRule) {
+  StoppingRules rules;
+  rules.max_seconds = 0.0;
+  CounterSink sink(rules);
+  EXPECT_FALSE(sink.stop_requested());
+  sink.check_time();
+  EXPECT_TRUE(sink.stop_requested());
+  EXPECT_EQ(sink.reason(), StopReason::kTimeLimit);
+}
+
+TEST(CounterSink, CompletedWhenNothingFires) {
+  CounterSink sink({});
+  sink.add_stand_trees(10);
+  sink.add_states(10);
+  sink.add_dead_ends(10);
+  EXPECT_FALSE(sink.stop_requested());
+  EXPECT_EQ(sink.reason(), StopReason::kCompleted);
+}
+
+TEST(LocalCounters, BatchesAreHonored) {
+  CounterSink sink({});
+  LocalCounters local(sink, /*tree=*/4, /*state=*/8, /*dead=*/2);
+  for (int i = 0; i < 3; ++i) local.count_stand_tree();
+  EXPECT_EQ(sink.stand_trees(), 0u);  // below batch: nothing published
+  local.count_stand_tree();
+  EXPECT_EQ(sink.stand_trees(), 4u);  // batch boundary: published
+  for (int i = 0; i < 7; ++i) local.count_state();
+  EXPECT_EQ(sink.states(), 0u);
+  local.count_state();
+  EXPECT_EQ(sink.states(), 8u);
+  local.count_dead_end();
+  EXPECT_EQ(sink.dead_ends(), 0u);
+  local.count_dead_end();
+  EXPECT_EQ(sink.dead_ends(), 2u);
+  EXPECT_EQ(local.flush_count(), 3u);
+}
+
+TEST(LocalCounters, FlushAllPublishesRemainders) {
+  CounterSink sink({});
+  LocalCounters local(sink, 1024, 8192, 1024);
+  for (int i = 0; i < 5; ++i) local.count_stand_tree();
+  for (int i = 0; i < 7; ++i) local.count_state();
+  local.count_dead_end();
+  local.flush_all();
+  EXPECT_EQ(sink.stand_trees(), 5u);
+  EXPECT_EQ(sink.states(), 7u);
+  EXPECT_EQ(sink.dead_ends(), 1u);
+}
+
+TEST(LocalCounters, BatchZeroBehavesAsOne) {
+  CounterSink sink({});
+  LocalCounters local(sink, 0, 0, 0);
+  local.count_stand_tree();
+  EXPECT_EQ(sink.stand_trees(), 1u);
+}
+
+}  // namespace
+}  // namespace gentrius::core

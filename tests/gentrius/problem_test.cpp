@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "gentrius/problem.hpp"
+#include "phylo/newick.hpp"
+
+namespace gentrius::core {
+namespace {
+
+TEST(Problem, InitialTreeHeuristicPicksMaxOverlap) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  // Tree 0 shares 2+2 taxa, tree 1 shares 2+4, tree 2 shares 2+4.
+  cs.push_back(phylo::parse_newick("((a,b),(x1,x2));", taxa));
+  cs.push_back(phylo::parse_newick("((a,b),(c,d),(e,f));", taxa));
+  cs.push_back(phylo::parse_newick("((c,d),(e,f),(y1,y2));", taxa));
+  Options opts;
+  const auto p = build_problem(cs, opts);
+  // Overlaps: t0: |t0∩t1|+|t0∩t2| = 2+0 = 2; t1: 2+4 = 6; t2: 0+4 = 4.
+  EXPECT_EQ(p.initial_constraint, 1u);
+
+  Options no_heur;
+  no_heur.select_initial_tree = false;
+  EXPECT_EQ(build_problem(cs, no_heur).initial_constraint, 0u);
+
+  Options forced;
+  forced.initial_constraint = 2;
+  EXPECT_EQ(build_problem(cs, forced).initial_constraint, 2u);
+}
+
+TEST(Problem, MissingTaxaAndMembership) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),(c,d));", taxa));
+  cs.push_back(phylo::parse_newick("((a,e),(b,f));", taxa));
+  Options opts;
+  opts.initial_constraint = 0;
+  const auto p = build_problem(cs, opts);
+  EXPECT_EQ(p.n_taxa, 6u);
+  EXPECT_EQ(p.all_taxa.count(), 6u);
+  // Missing from ((a,b),(c,d)): e and f.
+  ASSERT_EQ(p.missing_taxa.size(), 2u);
+  EXPECT_EQ(p.missing_taxa[0], taxa.id_of("e"));
+  EXPECT_EQ(p.missing_taxa[1], taxa.id_of("f"));
+  // trees_of_taxon: a in both, c only in tree 0.
+  EXPECT_EQ(p.trees_of_taxon[taxa.id_of("a")].size(), 2u);
+  EXPECT_EQ(p.trees_of_taxon[taxa.id_of("c")],
+            (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Problem, HeuristicSkipsTinyTrees) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("(a,b);", taxa));  // too small to start from
+  cs.push_back(phylo::parse_newick("((a,b),(c,d));", taxa));
+  Options opts;
+  const auto p = build_problem(cs, opts);
+  EXPECT_EQ(p.initial_constraint, 1u);
+  // And explicitly forcing the tiny tree is rejected.
+  Options forced;
+  forced.initial_constraint = 0;
+  EXPECT_THROW(build_problem(cs, forced), support::InvalidInput);
+}
+
+TEST(Problem, TaxonKeysAreStableAndNonZero) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),(c,d));", taxa));
+  Options opts;
+  const auto p1 = build_problem(cs, opts);
+  const auto p2 = build_problem(cs, opts);
+  EXPECT_EQ(p1.taxon_keys, p2.taxon_keys);
+  for (const auto k : p1.taxon_keys) EXPECT_NE(k, 0u);
+}
+
+}  // namespace
+}  // namespace gentrius::core

@@ -1,0 +1,161 @@
+// Cross-validation of the Gentrius engine against the brute-force oracle.
+//
+// The oracle enumerates the full tree space and applies the stand
+// *definition*; Gentrius must produce the identical tree set for every
+// instance, regardless of heuristic configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/serial.hpp"
+#include "oracle/brute_force.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/topology.hpp"
+
+namespace gentrius {
+namespace {
+
+using core::Options;
+using core::Result;
+using core::StopReason;
+
+Result run_collecting(const std::vector<phylo::Tree>& constraints,
+                      Options opts = {}) {
+  opts.collect_trees = true;
+  return core::run_serial(constraints, opts);
+}
+
+std::vector<std::string> sorted_trees(Result& r) {
+  std::sort(r.trees.begin(), r.trees.end());
+  return r.trees;
+}
+
+TEST(SerialOracle, PaperFigure1aStyle) {
+  // Two missing taxa with disjoint admissible regions multiply the stand.
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> constraints;
+  constraints.push_back(phylo::parse_newick("((c1,c2),(c3,c4),(c5,c6));", taxa));
+  constraints.push_back(phylo::parse_newick("((a,c1),(c2,c3));", taxa));
+  constraints.push_back(phylo::parse_newick("((b,c5),(c6,c3));", taxa));
+
+  auto oracle = oracle::brute_force_stand(constraints);
+  auto result = run_collecting(constraints);
+  EXPECT_EQ(result.reason, StopReason::kCompleted);
+  EXPECT_EQ(result.stand_trees, oracle.size());
+  EXPECT_EQ(sorted_trees(result), oracle);
+}
+
+TEST(SerialOracle, SingleConstraintIsItsOwnStand) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> constraints;
+  constraints.push_back(
+      phylo::parse_newick("((a,b),(c,d),(e,f));", taxa));
+  auto result = run_collecting(constraints);
+  EXPECT_EQ(result.stand_trees, 1u);
+  EXPECT_EQ(result.intermediate_states, 0u);
+  EXPECT_EQ(result.dead_ends, 0u);
+  EXPECT_EQ(result.reason, StopReason::kCompleted);
+}
+
+TEST(SerialOracle, IncompatibleConstraintsGiveEmptyStand) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> constraints;
+  constraints.push_back(phylo::parse_newick("((a,b),(c,d));", taxa));
+  constraints.push_back(phylo::parse_newick("((a,c),(b,d));", taxa));
+  auto result = run_collecting(constraints);
+  EXPECT_EQ(result.stand_trees, 0u);
+  EXPECT_EQ(result.reason, StopReason::kEmptyStand);
+  EXPECT_EQ(oracle::brute_force_stand_count(constraints), 0u);
+}
+
+TEST(SerialOracle, LaterIncompatibilityIsFoundViaDeadEnds) {
+  // The initial agile tree is consistent with each constraint, but the two
+  // quartets pin x to disjoint regions: the stand is empty and the search
+  // must discover it rather than the upfront check.
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> constraints;
+  constraints.push_back(phylo::parse_newick("((a,b),c,(d,e));", taxa));
+  constraints.push_back(phylo::parse_newick("((x,a),(b,d));", taxa));   // x near a
+  constraints.push_back(phylo::parse_newick("((x,e),(d,a));", taxa));   // x near e
+  auto result = run_collecting(constraints);
+  EXPECT_EQ(oracle::brute_force_stand_count(constraints), result.stand_trees);
+  EXPECT_EQ(result.stand_trees, 0u);
+  EXPECT_EQ(result.reason, StopReason::kCompleted);
+  EXPECT_GE(result.dead_ends, 1u);
+}
+
+TEST(SerialOracle, UnconstrainedTaxonMultipliesStand) {
+  // w appears only in a 3-taxon tree: every edge of the 5-taxon agile tree
+  // (7 edges) is admissible, so the stand has exactly 7 trees.
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> constraints;
+  constraints.push_back(phylo::parse_newick("((a,b),c,(d,e));", taxa));
+  constraints.push_back(phylo::parse_newick("(w,a,b);", taxa));
+  auto result = run_collecting(constraints);
+  EXPECT_EQ(result.stand_trees, 7u);
+  EXPECT_EQ(result.stand_trees, oracle::brute_force_stand_count(constraints));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random simulated instances, all heuristic configurations.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  std::size_t n_taxa;
+  std::size_t n_loci;
+  double missing;
+  std::uint64_t seed;
+};
+
+class OracleSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OracleSweep, MatchesBruteForceUnderAllHeuristicConfigs) {
+  const auto param = GetParam();
+  datagen::SimulatedParams sp;
+  sp.n_taxa = param.n_taxa;
+  sp.n_loci = param.n_loci;
+  sp.missing_fraction = param.missing;
+  sp.seed = param.seed;
+  const auto ds = datagen::make_simulated(sp);
+  const auto expected = oracle::brute_force_stand(ds.constraints);
+
+  // (dynamic order?, initial-tree heuristic?) in all combinations, plus a
+  // shuffled static order.
+  for (const bool dynamic : {true, false}) {
+    for (const bool select_initial : {true, false}) {
+      Options opts;
+      opts.dynamic_taxon_order = dynamic;
+      opts.select_initial_tree = select_initial;
+      auto result = run_collecting(ds.constraints, opts);
+      EXPECT_EQ(result.stand_trees, expected.size())
+          << "dynamic=" << dynamic << " select_initial=" << select_initial;
+      EXPECT_EQ(sorted_trees(result), expected);
+      EXPECT_EQ(result.reason, StopReason::kCompleted);
+    }
+  }
+  Options shuffled;
+  shuffled.dynamic_taxon_order = false;
+  shuffled.shuffle_seed = param.seed * 77 + 1;
+  auto result = run_collecting(ds.constraints, shuffled);
+  EXPECT_EQ(sorted_trees(result), expected);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 1000;
+  for (const std::size_t n : {5u, 6u, 7u, 8u}) {
+    for (const std::size_t loci : {2u, 3u, 5u}) {
+      for (const double missing : {0.2, 0.35, 0.5}) {
+        cases.push_back({n, loci, missing, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OracleSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+}  // namespace
+}  // namespace gentrius

@@ -1,0 +1,119 @@
+// Direct validation of the double-edge-mapping machinery: at random
+// intermediate states, the Terrace's admissible-branch sets must equal the
+// definitional set {e : agile+x@e restricted to common taxa equals the
+// constraint's restriction} for every remaining taxon.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/terrace.hpp"
+#include "phylo/topology.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::core {
+namespace {
+
+/// Definitional admissibility: try the insertion and test the invariant.
+std::vector<EdgeId> definitional_branches(Terrace& terrace,
+                                          const Problem& problem, TaxonId x) {
+  std::vector<EdgeId> out;
+  for (const EdgeId e : terrace.agile().live_edges()) {
+    const auto rec = terrace.insert(x, e);
+    bool ok = true;
+    for (const std::uint32_t i : problem.trees_of_taxon[x]) {
+      // common taxa of the extended agile tree and T_i
+      std::vector<TaxonId> common;
+      problem.constraint_taxa[i].for_each([&](std::size_t t) {
+        if (terrace.agile().has_taxon(static_cast<TaxonId>(t)))
+          common.push_back(static_cast<TaxonId>(t));
+      });
+      const auto a = phylo::restrict_to(terrace.agile(), common);
+      const auto b = phylo::restrict_to(problem.constraints[i], common);
+      if (!phylo::same_topology(a, b)) {
+        ok = false;
+        break;
+      }
+    }
+    terrace.remove(rec);
+    if (ok) out.push_back(e);
+  }
+  return out;
+}
+
+class TerraceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TerraceProperty, MappingEqualsDefinitionAtRandomStates) {
+  support::Rng rng(GetParam());
+  datagen::SimulatedParams sp;
+  sp.n_taxa = 6 + rng.below(10);
+  sp.n_loci = 2 + rng.below(4);
+  sp.missing_fraction = 0.25 + 0.4 * rng.uniform();
+  sp.seed = GetParam() * 31 + 7;
+  const auto ds = datagen::make_simulated(sp);
+
+  Options opts;
+  const auto problem = build_problem(ds.constraints, opts);
+  Terrace terrace(problem);
+  ASSERT_TRUE(terrace.initial_state_consistent());
+
+  std::vector<EdgeId> branches;
+  std::vector<InsertRecord> applied;
+  // Walk a random valid path, checking every remaining taxon at each state.
+  for (int depth = 0; depth < 64 && terrace.remaining_count() > 0; ++depth) {
+    const auto remaining = terrace.remaining();
+    for (const TaxonId x : remaining) {
+      const auto choice = terrace.choose_static(x, branches);
+      ASSERT_EQ(choice.taxon, x);
+      auto expected = definitional_branches(terrace, problem, x);
+      auto got = branches;
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected)
+          << "taxon " << x << " at depth " << depth << " seed " << GetParam();
+    }
+    // Advance along a random admissible insertion (if any taxon fits).
+    const TaxonId pick =
+        remaining[rng.below(remaining.size())];
+    terrace.choose_static(pick, branches);
+    if (branches.empty()) break;  // dead end: stop this walk
+    applied.push_back(
+        terrace.insert(pick, branches[rng.below(branches.size())]));
+  }
+  // Unwind and verify the terrace returns to a consistent initial state.
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it)
+    terrace.remove(*it);
+  EXPECT_EQ(terrace.remaining_count(), problem.missing_count());
+  EXPECT_TRUE(terrace.initial_state_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TerraceProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(Terrace, DynamicChoiceIsTheMinimum) {
+  support::Rng rng(404);
+  datagen::SimulatedParams sp;
+  sp.n_taxa = 12;
+  sp.n_loci = 3;
+  sp.missing_fraction = 0.45;
+  sp.seed = 404;
+  const auto ds = datagen::make_simulated(sp);
+  Options opts;
+  const auto problem = build_problem(ds.constraints, opts);
+  Terrace terrace(problem);
+
+  std::vector<EdgeId> branches, other;
+  while (terrace.remaining_count() > 0) {
+    const auto choice = terrace.choose_dynamic(branches);
+    if (choice.complete || choice.dead_end) break;
+    for (const TaxonId x : terrace.remaining()) {
+      terrace.choose_static(x, other);
+      EXPECT_GE(other.size(), branches.size());
+    }
+    terrace.choose_static(choice.taxon, branches);
+    terrace.insert(choice.taxon, branches[0]);
+  }
+}
+
+}  // namespace
+}  // namespace gentrius::core

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/serial.hpp"
+#include "gentrius/verify.hpp"
+#include "phylo/newick.hpp"
+
+namespace gentrius::core {
+namespace {
+
+TEST(VerifyStand, AcceptsAnEnumeratedStand) {
+  datagen::SimulatedParams sp;
+  sp.n_taxa = 14;
+  sp.n_loci = 4;
+  sp.missing_fraction = 0.45;
+  sp.seed = 606;
+  const auto ds = datagen::make_simulated(sp);
+  Options opts;
+  opts.collect_trees = true;
+  opts.tree_names = &ds.taxa;
+  const auto r = run_serial(ds.constraints, opts);
+  ASSERT_EQ(r.reason, StopReason::kCompleted);
+  const auto v = verify_stand(ds.constraints, r.trees, ds.taxa);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.trees_checked, r.stand_trees);
+}
+
+TEST(VerifyStand, RejectsDuplicatesViolationsAndGaps) {
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),c,(d,e));", taxa));
+  cs.push_back(phylo::parse_newick("(w,a,b);", taxa));
+  Options opts;
+  opts.collect_trees = true;
+  opts.tree_names = &taxa;
+  const auto r = run_serial(cs, opts);
+  ASSERT_EQ(r.stand_trees, 7u);
+  ASSERT_TRUE(verify_stand(cs, r.trees, taxa).ok);
+
+  auto dup = r.trees;
+  dup.push_back(dup.front());
+  EXPECT_FALSE(verify_stand(cs, dup, taxa).ok);
+
+  // A tree violating constraint 0.
+  std::vector<std::string> bad{"((a,c),(b,w),(d,e));"};
+  const auto vb = verify_stand(cs, bad, taxa);
+  EXPECT_FALSE(vb.ok);
+  EXPECT_NE(vb.error.find("constraint"), std::string::npos);
+
+  // A tree missing taxon w.
+  std::vector<std::string> gap{"((a,b),c,(d,e));"};
+  EXPECT_FALSE(verify_stand(cs, gap, taxa).ok);
+
+  // Unparsable input.
+  std::vector<std::string> junk{"((a,b"};
+  EXPECT_FALSE(verify_stand(cs, junk, taxa).ok);
+}
+
+TEST(DynamicVariant, MostConstrainedAlsoEnumeratesCorrectly) {
+  for (std::uint64_t seed = 900; seed < 912; ++seed) {
+    datagen::SimulatedParams sp;
+    sp.n_taxa = 10;
+    sp.n_loci = 3;
+    sp.missing_fraction = 0.4;
+    sp.seed = seed;
+    const auto ds = datagen::make_simulated(sp);
+    Options a;
+    const auto ra = run_serial(ds.constraints, a);
+    Options b;
+    b.dynamic_variant = Options::DynamicVariant::kMostConstrained;
+    const auto rb = run_serial(ds.constraints, b);
+    EXPECT_EQ(ra.stand_trees, rb.stand_trees) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gentrius::core

@@ -1,0 +1,119 @@
+// Robustness: malformed and mutated inputs must raise library exceptions,
+// never crash or corrupt state.
+#include <gtest/gtest.h>
+
+#include "phylo/newick.hpp"
+#include "phylo/topology.hpp"
+#include "pam/pam.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::phylo {
+namespace {
+
+TEST(NewickFuzz, RandomBytesNeverCrash) {
+  support::Rng rng(0xf22);
+  const char alphabet[] = "(),;:'ab01. \t[]";
+  for (int round = 0; round < 3000; ++round) {
+    std::string input;
+    const std::size_t len = rng.below(40);
+    for (std::size_t i = 0; i < len; ++i)
+      input.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    TaxonSet taxa;
+    try {
+      const Tree t = parse_newick(input, taxa);
+      t.validate();  // anything accepted must be structurally sound
+    } catch (const support::Error&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(NewickFuzz, MutatedValidTreesNeverCrash) {
+  support::Rng rng(0xabcd);
+  const std::string base = "((alpha,beta),(gamma,'de lta'),(eps,zeta));";
+  for (int round = 0; round < 3000; ++round) {
+    std::string input = base;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(input.size());
+      switch (rng.below(3)) {
+        case 0:
+          input.erase(pos, 1);
+          break;
+        case 1:
+          input.insert(pos, 1, "(),;:'x"[rng.below(7)]);
+          break;
+        default:
+          input[pos] = "(),;:'x"[rng.below(7)];
+          break;
+      }
+      if (input.empty()) break;
+    }
+    TaxonSet taxa;
+    try {
+      const Tree t = parse_newick(input, taxa);
+      t.validate();
+    } catch (const support::Error&) {
+    }
+  }
+}
+
+TEST(PamFuzz, RandomTextNeverCrashes) {
+  support::Rng rng(0x9a9a);
+  const char alphabet[] = "0123456789 ab\n-";
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const std::size_t len = rng.below(60);
+    for (std::size_t i = 0; i < len; ++i)
+      input.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    TaxonSet taxa;
+    try {
+      (void)pam::Pam::parse(input, taxa);
+    } catch (const support::Error&) {
+    }
+  }
+}
+
+TEST(TortureTest, LongRandomInsertRemoveSequences) {
+  support::Rng rng(31337);
+  Tree t = Tree::star({0, 1, 2});
+  t.reserve_for_leaves(40);
+  std::vector<InsertRecord> stack;
+  TaxonId next_taxon = 3;
+  std::vector<TaxonId> free_taxa;
+  for (int step = 0; step < 20'000; ++step) {
+    const bool can_insert = t.leaf_count() < 40;
+    const bool can_remove = !stack.empty();
+    const bool do_insert =
+        can_insert && (!can_remove || rng.bernoulli(0.55));
+    if (do_insert) {
+      TaxonId taxon;
+      if (!free_taxa.empty() && rng.bernoulli(0.5)) {
+        taxon = free_taxa.back();
+        free_taxa.pop_back();
+      } else if (next_taxon < 40) {
+        taxon = next_taxon++;
+      } else {
+        taxon = free_taxa.back();
+        free_taxa.pop_back();
+      }
+      const auto edges = t.live_edges();
+      stack.push_back(t.insert_leaf(taxon, edges[rng.below(edges.size())]));
+    } else if (can_remove) {
+      // LIFO discipline, like the enumerator.
+      free_taxa.push_back(stack.back().taxon);
+      t.remove_leaf(stack.back());
+      stack.pop_back();
+    }
+    if (step % 500 == 0) t.validate();
+  }
+  while (!stack.empty()) {
+    t.remove_leaf(stack.back());
+    stack.pop_back();
+  }
+  t.validate();
+  EXPECT_EQ(t.leaf_count(), 3u);
+}
+
+}  // namespace
+}  // namespace gentrius::phylo

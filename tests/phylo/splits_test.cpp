@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "datagen/tree_gen.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/splits.hpp"
+#include "phylo/topology.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::phylo {
+namespace {
+
+Tree parse(const char* s, TaxonSet& taxa) { return parse_newick(s, taxa); }
+
+TEST(Splits, BinaryTreeHasNMinus3Splits) {
+  support::Rng rng(1);
+  for (const std::size_t n : {4u, 5u, 8u, 20u, 60u}) {
+    std::vector<TaxonId> taxa;
+    for (TaxonId i = 0; i < n; ++i) taxa.push_back(i);
+    const Tree t = datagen::random_tree(taxa, rng);
+    EXPECT_EQ(tree_splits(t, n).size(), n - 3);
+  }
+  TaxonSet names;
+  EXPECT_TRUE(tree_splits(parse("(a,b,c);", names), 3).empty());
+}
+
+TEST(Splits, CanonicalSideExcludesLowestTaxon) {
+  TaxonSet taxa;
+  const Tree t = parse("((a,b),(c,d),(e,f));", taxa);
+  for (const auto& s : tree_splits(t, taxa.size()))
+    EXPECT_FALSE(s.test(taxa.id_of("a")));
+}
+
+TEST(Rf, IdenticalTreesAtZero) {
+  support::Rng rng(2);
+  std::vector<TaxonId> taxa;
+  for (TaxonId i = 0; i < 15; ++i) taxa.push_back(i);
+  const Tree t = datagen::random_tree(taxa, rng);
+  EXPECT_EQ(rf_distance(t, t), 0u);
+}
+
+TEST(Rf, KnownSmallDistances) {
+  TaxonSet taxa;
+  const Tree t1 = parse("((a,b),(c,d),e);", taxa);
+  const Tree t2 = parse("((a,c),(b,d),e);", taxa);
+  // 5 taxa: 2 splits each, none shared.
+  EXPECT_EQ(rf_distance(t1, t2), 4u);
+  const Tree t3 = parse("((a,b),(c,e),d);", taxa);
+  // t1 and t3 share the ab|cde split only.
+  EXPECT_EQ(rf_distance(t1, t3), 2u);
+}
+
+TEST(Rf, SymmetricAndBounded) {
+  support::Rng rng(3);
+  std::vector<TaxonId> taxa;
+  for (TaxonId i = 0; i < 12; ++i) taxa.push_back(i);
+  for (int round = 0; round < 20; ++round) {
+    const Tree a = datagen::random_tree(taxa, rng);
+    const Tree b = datagen::random_tree(taxa, rng);
+    const auto d = rf_distance(a, b);
+    EXPECT_EQ(d, rf_distance(b, a));
+    EXPECT_LE(d, 2 * (12 - 3));
+    EXPECT_EQ(d % 2, 0u);  // both trees binary: symmetric difference is even
+    EXPECT_EQ(d == 0, same_topology(a, b));
+  }
+}
+
+TEST(Rf, DifferentLeafSetsRejected) {
+  TaxonSet taxa;
+  const Tree a = parse("((a,b),(c,d));", taxa);
+  const Tree b = parse("((a,b),(c,e));", taxa);
+  EXPECT_THROW(rf_distance(a, b), support::InvalidInput);
+}
+
+TEST(Consensus, SingleTreeIsFullyResolved) {
+  TaxonSet taxa;
+  const Tree t = parse("((a,b),(c,d),(e,f));", taxa);
+  const auto c = strict_consensus({t});
+  EXPECT_EQ(c.internal_edge_count(), 3u);
+  EXPECT_EQ(c.leaf_count(), 6u);
+  // Consensus newick re-parses to the same topology (it is binary here...
+  // modulo the root polytomy of the unrooted representation).
+  TaxonSet taxa2 = taxa;
+  const Tree back = parse_newick(c.to_newick(taxa), taxa2,
+                                 {.register_new_taxa = false,
+                                  .require_binary = false});
+  EXPECT_TRUE(same_topology(restrict_to(back, back.taxa()), t));
+}
+
+TEST(Consensus, AllTopologiesGiveAStar) {
+  // Strict consensus over every tree on 5 taxa has no internal edges.
+  TaxonSet taxa;
+  std::vector<Tree> all;
+  support::Rng rng(4);
+  std::vector<TaxonId> ids{0, 1, 2, 3, 4};
+  for (int i = 0; i < 200; ++i) all.push_back(datagen::random_tree(ids, rng));
+  const auto c = strict_consensus(all);
+  EXPECT_EQ(c.internal_edge_count(), 0u);
+}
+
+TEST(Consensus, SharedSplitSurvives) {
+  TaxonSet taxa;
+  std::vector<Tree> trees;
+  trees.push_back(parse("((a,b),((c,d),(e,f)));", taxa));
+  trees.push_back(parse("((a,b),((c,e),(d,f)));", taxa));
+  trees.push_back(parse("((a,b),((c,f),(d,e)));", taxa));
+  const auto c = strict_consensus(trees);
+  // ab|cdef and cdef-side... ab|rest is shared; the inner resolution is not.
+  EXPECT_EQ(c.internal_edge_count(), 1u);
+}
+
+TEST(Consensus, MajorityKeepsFrequentSplits) {
+  TaxonSet taxa;
+  std::vector<Tree> trees;
+  trees.push_back(parse("((a,b),(c,d),e);", taxa));
+  trees.push_back(parse("((a,b),(c,d),e);", taxa));
+  trees.push_back(parse("((a,c),(b,d),e);", taxa));
+  const auto maj = majority_consensus(trees, 0.5);
+  EXPECT_EQ(maj.internal_edge_count(), 2u);  // both splits in 2/3 of trees
+  const auto strict = strict_consensus(trees);
+  EXPECT_EQ(strict.internal_edge_count(), 0u);
+}
+
+TEST(Consensus, FromSplitsRejectsNonLaminar) {
+  support::Bitset s1(6), s2(6);
+  s1.set(1);
+  s1.set(2);
+  s2.set(2);
+  s2.set(3);
+  EXPECT_THROW(
+      MultiTree::from_splits({0, 1, 2, 3, 4, 5}, {s1, s2}, 6),
+      support::InvalidInput);
+}
+
+}  // namespace
+}  // namespace gentrius::phylo

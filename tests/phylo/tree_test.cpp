@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "datagen/tree_gen.hpp"
+#include "phylo/topology.hpp"
+#include "phylo/tree.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::phylo {
+namespace {
+
+TEST(Tree, StarConstruction) {
+  const Tree t1 = Tree::star({5});
+  EXPECT_EQ(t1.leaf_count(), 1u);
+  EXPECT_EQ(t1.edge_count(), 0u);
+  t1.validate();
+
+  const Tree t2 = Tree::star({1, 2});
+  EXPECT_EQ(t2.leaf_count(), 2u);
+  EXPECT_EQ(t2.edge_count(), 1u);
+  t2.validate();
+
+  const Tree t3 = Tree::star({1, 2, 3});
+  EXPECT_EQ(t3.leaf_count(), 3u);
+  EXPECT_EQ(t3.edge_count(), 3u);
+  t3.validate();
+  EXPECT_TRUE(t3.has_taxon(2));
+  EXPECT_FALSE(t3.has_taxon(4));
+}
+
+TEST(Tree, InsertRemoveRestoresExactState) {
+  Tree t = Tree::star({0, 1, 2});
+  const auto before_edges = t.live_edges();
+  const auto before_enc = canonical_encoding(t);
+
+  const auto rec = t.insert_leaf(3, before_edges[1]);
+  t.validate();
+  EXPECT_EQ(t.leaf_count(), 4u);
+  EXPECT_EQ(t.edge_count(), 5u);
+
+  t.remove_leaf(rec);
+  t.validate();
+  EXPECT_EQ(t.live_edges(), before_edges);
+  EXPECT_EQ(canonical_encoding(t), before_enc);
+}
+
+TEST(Tree, LifoReuseYieldsIdenticalIds) {
+  // The replay protocol depends on this: after insert+remove, repeating the
+  // same insert must allocate the same ids.
+  Tree t = Tree::star({0, 1, 2});
+  const auto rec1 = t.insert_leaf(3, 0);
+  const auto ids1 = std::tuple{rec1.moved_edge, rec1.leaf_edge, rec1.junction,
+                               rec1.leaf};
+  t.remove_leaf(rec1);
+  const auto rec2 = t.insert_leaf(3, 0);
+  const auto ids2 = std::tuple{rec2.moved_edge, rec2.leaf_edge, rec2.junction,
+                               rec2.leaf};
+  EXPECT_EQ(ids1, ids2);
+}
+
+TEST(Tree, DeepInsertRemoveStack) {
+  support::Rng rng(17);
+  Tree t = Tree::star({0, 1, 2});
+  t.reserve_for_leaves(64);
+  std::vector<InsertRecord> recs;
+  for (TaxonId x = 3; x < 64; ++x) {
+    const auto edges = t.live_edges();
+    recs.push_back(
+        t.insert_leaf(x, edges[rng.below(edges.size())]));
+  }
+  t.validate();
+  EXPECT_EQ(t.leaf_count(), 64u);
+  EXPECT_EQ(t.edge_count(), 2 * 64u - 3);
+  const std::string grown = canonical_encoding(t);
+  // Unwind half, re-apply, full state must match.
+  std::vector<InsertRecord> undone;
+  for (int i = 0; i < 30; ++i) {
+    undone.push_back(recs.back());
+    recs.pop_back();
+    t.remove_leaf(undone.back());
+  }
+  t.validate();
+  for (auto it = undone.rbegin(); it != undone.rend(); ++it)
+    recs.push_back(t.insert_leaf(it->taxon, it->split_edge));
+  EXPECT_EQ(canonical_encoding(t), grown);
+  // And unwind everything.
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) t.remove_leaf(*it);
+  t.validate();
+  EXPECT_EQ(t.leaf_count(), 3u);
+}
+
+TEST(Tree, SmallInsertPath) {
+  Tree t;
+  const auto r1 = t.insert_leaf_small(7);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  const auto r2 = t.insert_leaf_small(8);
+  EXPECT_EQ(t.leaf_count(), 2u);
+  EXPECT_EQ(t.edge_count(), 1u);
+  t.validate();
+  t.remove_leaf(r2);
+  t.remove_leaf(r1);
+  EXPECT_EQ(t.leaf_count(), 0u);
+}
+
+TEST(Tree, OtherEndAndAdjacency) {
+  const Tree t = Tree::star({0, 1, 2});
+  t.for_each_edge([&](EdgeId e) {
+    const auto& ed = t.edge(e);
+    EXPECT_EQ(t.other_end(e, ed.u), ed.v);
+    EXPECT_EQ(t.other_end(e, ed.v), ed.u);
+  });
+}
+
+TEST(Tree, EdgeSideTaxaPartitionsLeaves) {
+  support::Rng rng(5);
+  phylo::TaxonSet names;
+  std::vector<TaxonId> taxa;
+  for (TaxonId i = 0; i < 20; ++i) taxa.push_back(i);
+  const Tree t = datagen::random_tree(taxa, rng);
+  t.for_each_edge([&](EdgeId e) {
+    auto a = datagen::edge_side_taxa(t, e, t.edge(e).u);
+    auto b = datagen::edge_side_taxa(t, e, t.edge(e).v);
+    EXPECT_EQ(a.size() + b.size(), 20u);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<TaxonId> merged;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(merged));
+    EXPECT_EQ(merged, taxa);
+  });
+}
+
+TEST(Tree, ValidateCatchesCorruption) {
+  Tree t = Tree::star({0, 1, 2});
+  t.insert_leaf(3, 0);
+  // Severing one adjacency half must be caught.
+  Tree broken = t;
+  broken.unlink_edge(broken.live_edges()[0]);
+  EXPECT_THROW(broken.validate(), support::InternalError);
+}
+
+}  // namespace
+}  // namespace gentrius::phylo
