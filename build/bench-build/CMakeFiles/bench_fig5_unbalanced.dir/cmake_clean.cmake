@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_unbalanced"
+  "../bench/bench_fig5_unbalanced.pdb"
+  "CMakeFiles/bench_fig5_unbalanced.dir/bench_fig5_unbalanced.cpp.o"
+  "CMakeFiles/bench_fig5_unbalanced.dir/bench_fig5_unbalanced.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

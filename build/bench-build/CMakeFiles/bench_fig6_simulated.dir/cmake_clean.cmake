@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_simulated"
+  "../bench/bench_fig6_simulated.pdb"
+  "CMakeFiles/bench_fig6_simulated.dir/bench_fig6_simulated.cpp.o"
+  "CMakeFiles/bench_fig6_simulated.dir/bench_fig6_simulated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_simulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

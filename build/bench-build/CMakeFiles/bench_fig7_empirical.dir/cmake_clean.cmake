@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_empirical"
+  "../bench/bench_fig7_empirical.pdb"
+  "CMakeFiles/bench_fig7_empirical.dir/bench_fig7_empirical.cpp.o"
+  "CMakeFiles/bench_fig7_empirical.dir/bench_fig7_empirical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_insertion_heuristics"
+  "../bench/bench_insertion_heuristics.pdb"
+  "CMakeFiles/bench_insertion_heuristics.dir/bench_insertion_heuristics.cpp.o"
+  "CMakeFiles/bench_insertion_heuristics.dir/bench_insertion_heuristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertion_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_adapted_speedup"
+  "../bench/bench_table1_adapted_speedup.pdb"
+  "CMakeFiles/bench_table1_adapted_speedup.dir/bench_table1_adapted_speedup.cpp.o"
+  "CMakeFiles/bench_table1_adapted_speedup.dir/bench_table1_adapted_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adapted_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

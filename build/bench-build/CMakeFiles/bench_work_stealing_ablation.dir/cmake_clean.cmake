@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_work_stealing_ablation"
+  "../bench/bench_work_stealing_ablation.pdb"
+  "CMakeFiles/bench_work_stealing_ablation.dir/bench_work_stealing_ablation.cpp.o"
+  "CMakeFiles/bench_work_stealing_ablation.dir/bench_work_stealing_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_work_stealing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

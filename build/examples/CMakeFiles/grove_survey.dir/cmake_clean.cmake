@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grove_survey.dir/grove_survey.cpp.o"
+  "CMakeFiles/grove_survey.dir/grove_survey.cpp.o.d"
+  "grove_survey"
+  "grove_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grove_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_scaling.cpp" "examples/CMakeFiles/parallel_scaling.dir/parallel_scaling.cpp.o" "gcc" "examples/CMakeFiles/parallel_scaling.dir/parallel_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/gentrius_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gentrius/CMakeFiles/gentrius_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/gentrius_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vthread/CMakeFiles/gentrius_vthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/pam/CMakeFiles/gentrius_pam.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/gentrius_phylo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/species_tree_terrace.dir/species_tree_terrace.cpp.o"
+  "CMakeFiles/species_tree_terrace.dir/species_tree_terrace.cpp.o.d"
+  "species_tree_terrace"
+  "species_tree_terrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/species_tree_terrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

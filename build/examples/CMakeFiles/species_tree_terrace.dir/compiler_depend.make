@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for species_tree_terrace.
+# This may be replaced when dependencies are built.

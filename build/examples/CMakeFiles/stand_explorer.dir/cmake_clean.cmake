@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stand_explorer.dir/stand_explorer.cpp.o"
+  "CMakeFiles/stand_explorer.dir/stand_explorer.cpp.o.d"
+  "stand_explorer"
+  "stand_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stand_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stand_summary.dir/stand_summary.cpp.o"
+  "CMakeFiles/stand_summary.dir/stand_summary.cpp.o.d"
+  "stand_summary"
+  "stand_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stand_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_species_tree_terrace "/root/repo/build/examples/species_tree_terrace")
+set_tests_properties(example_species_tree_terrace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stand_summary "/root/repo/build/examples/stand_summary")
+set_tests_properties(example_stand_summary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grove_survey "/root/repo/build/examples/grove_survey")
+set_tests_properties(example_grove_survey PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stand_explorer_demo "/root/repo/build/examples/stand_explorer" "--demo")
+set_tests_properties(example_stand_explorer_demo PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stand_explorer_trees "/root/repo/build/examples/stand_explorer" "--trees" "demo_trees.nwk" "--print-stand")
+set_tests_properties(example_stand_explorer_trees PROPERTIES  DEPENDS "example_stand_explorer_demo" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stand_explorer_pam "/root/repo/build/examples/stand_explorer" "--species" "demo_species.nwk" "--pam" "demo.pam" "--threads" "2")
+set_tests_properties(example_stand_explorer_pam PROPERTIES  DEPENDS "example_stand_explorer_demo" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parallel_scaling "/root/repo/build/examples/parallel_scaling")
+set_tests_properties(example_parallel_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

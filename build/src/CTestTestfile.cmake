@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("phylo")
+subdirs("pam")
+subdirs("datagen")
+subdirs("gentrius")
+subdirs("parallel")
+subdirs("vthread")
+subdirs("baseline")
+subdirs("oracle")
+subdirs("benchutil")

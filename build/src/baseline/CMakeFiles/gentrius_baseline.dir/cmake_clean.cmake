@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_baseline.dir/superb.cpp.o"
+  "CMakeFiles/gentrius_baseline.dir/superb.cpp.o.d"
+  "libgentrius_baseline.a"
+  "libgentrius_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_benchutil.dir/corpus.cpp.o"
+  "CMakeFiles/gentrius_benchutil.dir/corpus.cpp.o.d"
+  "CMakeFiles/gentrius_benchutil.dir/stats.cpp.o"
+  "CMakeFiles/gentrius_benchutil.dir/stats.cpp.o.d"
+  "libgentrius_benchutil.a"
+  "libgentrius_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

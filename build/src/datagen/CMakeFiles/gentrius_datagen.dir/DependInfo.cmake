@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cpp" "src/datagen/CMakeFiles/gentrius_datagen.dir/dataset.cpp.o" "gcc" "src/datagen/CMakeFiles/gentrius_datagen.dir/dataset.cpp.o.d"
+  "/root/repo/src/datagen/dataset_io.cpp" "src/datagen/CMakeFiles/gentrius_datagen.dir/dataset_io.cpp.o" "gcc" "src/datagen/CMakeFiles/gentrius_datagen.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/datagen/tree_gen.cpp" "src/datagen/CMakeFiles/gentrius_datagen.dir/tree_gen.cpp.o" "gcc" "src/datagen/CMakeFiles/gentrius_datagen.dir/tree_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phylo/CMakeFiles/gentrius_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pam/CMakeFiles/gentrius_pam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_datagen.dir/dataset.cpp.o"
+  "CMakeFiles/gentrius_datagen.dir/dataset.cpp.o.d"
+  "CMakeFiles/gentrius_datagen.dir/dataset_io.cpp.o"
+  "CMakeFiles/gentrius_datagen.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/gentrius_datagen.dir/tree_gen.cpp.o"
+  "CMakeFiles/gentrius_datagen.dir/tree_gen.cpp.o.d"
+  "libgentrius_datagen.a"
+  "libgentrius_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

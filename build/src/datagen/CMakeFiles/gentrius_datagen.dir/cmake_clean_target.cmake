@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgentrius_datagen.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gentrius/enumerator.cpp" "src/gentrius/CMakeFiles/gentrius_core.dir/enumerator.cpp.o" "gcc" "src/gentrius/CMakeFiles/gentrius_core.dir/enumerator.cpp.o.d"
+  "/root/repo/src/gentrius/problem.cpp" "src/gentrius/CMakeFiles/gentrius_core.dir/problem.cpp.o" "gcc" "src/gentrius/CMakeFiles/gentrius_core.dir/problem.cpp.o.d"
+  "/root/repo/src/gentrius/serial.cpp" "src/gentrius/CMakeFiles/gentrius_core.dir/serial.cpp.o" "gcc" "src/gentrius/CMakeFiles/gentrius_core.dir/serial.cpp.o.d"
+  "/root/repo/src/gentrius/terrace.cpp" "src/gentrius/CMakeFiles/gentrius_core.dir/terrace.cpp.o" "gcc" "src/gentrius/CMakeFiles/gentrius_core.dir/terrace.cpp.o.d"
+  "/root/repo/src/gentrius/verify.cpp" "src/gentrius/CMakeFiles/gentrius_core.dir/verify.cpp.o" "gcc" "src/gentrius/CMakeFiles/gentrius_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phylo/CMakeFiles/gentrius_phylo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

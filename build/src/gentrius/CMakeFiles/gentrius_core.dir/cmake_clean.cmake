@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_core.dir/enumerator.cpp.o"
+  "CMakeFiles/gentrius_core.dir/enumerator.cpp.o.d"
+  "CMakeFiles/gentrius_core.dir/problem.cpp.o"
+  "CMakeFiles/gentrius_core.dir/problem.cpp.o.d"
+  "CMakeFiles/gentrius_core.dir/serial.cpp.o"
+  "CMakeFiles/gentrius_core.dir/serial.cpp.o.d"
+  "CMakeFiles/gentrius_core.dir/terrace.cpp.o"
+  "CMakeFiles/gentrius_core.dir/terrace.cpp.o.d"
+  "CMakeFiles/gentrius_core.dir/verify.cpp.o"
+  "CMakeFiles/gentrius_core.dir/verify.cpp.o.d"
+  "libgentrius_core.a"
+  "libgentrius_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

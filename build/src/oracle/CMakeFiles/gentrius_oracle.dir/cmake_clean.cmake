@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_oracle.dir/brute_force.cpp.o"
+  "CMakeFiles/gentrius_oracle.dir/brute_force.cpp.o.d"
+  "libgentrius_oracle.a"
+  "libgentrius_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_pam.dir/pam.cpp.o"
+  "CMakeFiles/gentrius_pam.dir/pam.cpp.o.d"
+  "libgentrius_pam.a"
+  "libgentrius_pam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_pam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_parallel.dir/pool.cpp.o"
+  "CMakeFiles/gentrius_parallel.dir/pool.cpp.o.d"
+  "libgentrius_parallel.a"
+  "libgentrius_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/newick.cpp" "src/phylo/CMakeFiles/gentrius_phylo.dir/newick.cpp.o" "gcc" "src/phylo/CMakeFiles/gentrius_phylo.dir/newick.cpp.o.d"
+  "/root/repo/src/phylo/splits.cpp" "src/phylo/CMakeFiles/gentrius_phylo.dir/splits.cpp.o" "gcc" "src/phylo/CMakeFiles/gentrius_phylo.dir/splits.cpp.o.d"
+  "/root/repo/src/phylo/topology.cpp" "src/phylo/CMakeFiles/gentrius_phylo.dir/topology.cpp.o" "gcc" "src/phylo/CMakeFiles/gentrius_phylo.dir/topology.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/gentrius_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/gentrius_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

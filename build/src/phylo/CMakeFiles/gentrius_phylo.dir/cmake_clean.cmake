@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_phylo.dir/newick.cpp.o"
+  "CMakeFiles/gentrius_phylo.dir/newick.cpp.o.d"
+  "CMakeFiles/gentrius_phylo.dir/splits.cpp.o"
+  "CMakeFiles/gentrius_phylo.dir/splits.cpp.o.d"
+  "CMakeFiles/gentrius_phylo.dir/topology.cpp.o"
+  "CMakeFiles/gentrius_phylo.dir/topology.cpp.o.d"
+  "CMakeFiles/gentrius_phylo.dir/tree.cpp.o"
+  "CMakeFiles/gentrius_phylo.dir/tree.cpp.o.d"
+  "libgentrius_phylo.a"
+  "libgentrius_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

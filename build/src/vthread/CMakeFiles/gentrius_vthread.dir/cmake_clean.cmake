@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gentrius_vthread.dir/virtual_pool.cpp.o"
+  "CMakeFiles/gentrius_vthread.dir/virtual_pool.cpp.o.d"
+  "libgentrius_vthread.a"
+  "libgentrius_vthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gentrius_vthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

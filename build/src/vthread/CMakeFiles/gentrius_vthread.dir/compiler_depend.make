@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gentrius_vthread.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for gentrius_vthread.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superb_limits_test.dir/superb_limits_test.cpp.o"
+  "CMakeFiles/superb_limits_test.dir/superb_limits_test.cpp.o.d"
+  "superb_limits_test"
+  "superb_limits_test.pdb"
+  "superb_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superb_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

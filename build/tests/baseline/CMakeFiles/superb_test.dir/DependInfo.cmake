@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/superb_test.cpp" "tests/baseline/CMakeFiles/superb_test.dir/superb_test.cpp.o" "gcc" "tests/baseline/CMakeFiles/superb_test.dir/superb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/gentrius_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gentrius/CMakeFiles/gentrius_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/gentrius_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/gentrius_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pam/CMakeFiles/gentrius_pam.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/gentrius_phylo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

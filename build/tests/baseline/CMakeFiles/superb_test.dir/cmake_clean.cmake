@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superb_test.dir/superb_test.cpp.o"
+  "CMakeFiles/superb_test.dir/superb_test.cpp.o.d"
+  "superb_test"
+  "superb_test.pdb"
+  "superb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

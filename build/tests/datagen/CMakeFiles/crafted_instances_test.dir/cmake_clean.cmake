@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafted_instances_test.dir/crafted_instances_test.cpp.o"
+  "CMakeFiles/crafted_instances_test.dir/crafted_instances_test.cpp.o.d"
+  "crafted_instances_test"
+  "crafted_instances_test.pdb"
+  "crafted_instances_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafted_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

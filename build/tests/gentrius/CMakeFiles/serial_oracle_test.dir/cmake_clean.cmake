@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_oracle_test.dir/serial_oracle_test.cpp.o"
+  "CMakeFiles/serial_oracle_test.dir/serial_oracle_test.cpp.o.d"
+  "serial_oracle_test"
+  "serial_oracle_test.pdb"
+  "serial_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrace_test.dir/terrace_test.cpp.o"
+  "CMakeFiles/terrace_test.dir/terrace_test.cpp.o.d"
+  "terrace_test"
+  "terrace_test.pdb"
+  "terrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

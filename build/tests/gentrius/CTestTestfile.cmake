@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gentrius
+# Build directory: /root/repo/build/tests/gentrius
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gentrius/serial_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/terrace_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/enumerator_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/counters_test[1]_include.cmake")
+include("/root/repo/build/tests/gentrius/problem_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_test.dir/pam_test.cpp.o"
+  "CMakeFiles/pam_test.dir/pam_test.cpp.o.d"
+  "pam_test"
+  "pam_test.pdb"
+  "pam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

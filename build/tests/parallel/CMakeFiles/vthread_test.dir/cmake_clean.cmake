@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vthread_test.dir/vthread_test.cpp.o"
+  "CMakeFiles/vthread_test.dir/vthread_test.cpp.o.d"
+  "vthread_test"
+  "vthread_test.pdb"
+  "vthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/parallel
+# Build directory: /root/repo/build/tests/parallel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/parallel/parallel_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel/task_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel/vthread_test[1]_include.cmake")

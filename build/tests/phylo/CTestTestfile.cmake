@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/phylo
+# Build directory: /root/repo/build/tests/phylo
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/phylo/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/phylo/newick_test[1]_include.cmake")
+include("/root/repo/build/tests/phylo/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/phylo/splits_test[1]_include.cmake")
+include("/root/repo/build/tests/phylo/fuzz_test[1]_include.cmake")
