@@ -6,12 +6,22 @@
 // cache-line ping-pong each thread accumulates locally and publishes every
 // 2^10 / 2^13 / 2^10 increments. A consequence the paper documents is that
 // parallel runs can overshoot the limits by up to (threads * batch).
+//
+// Concurrency discipline: CounterSink is deliberately lock-free — every
+// member is a std::atomic and there is no mutex to annotate for
+// -Wthread-safety. The only cross-thread ordering that matters is the stop
+// flag: request_stop publishes with release, stop_requested observes with
+// acquire; the counter totals themselves are relaxed (they are monotone sums
+// read exactly, after all writers flushed, by the assembling thread).
+// LocalCounters is strictly thread-private (one per Enumerator, one
+// Enumerator per worker) and must never be shared.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "gentrius/options.hpp"
+#include "support/invariant.hpp"
 #include "support/stopwatch.hpp"
 
 namespace gentrius::core {
@@ -37,6 +47,8 @@ class CounterSink {
   }
 
   /// Stopping rule 3. Called on every flush; cheap relative to batch work.
+  /// Wall-clock by definition (the paper's 168 h limit); equivalence tests
+  /// disable this rule, so it cannot perturb serial-vs-parallel comparisons.
   void check_time() {
     if (clock_.seconds() >= rules_.max_seconds)
       request_stop(StopReason::kTimeLimit);
@@ -72,11 +84,12 @@ class CounterSink {
   std::atomic<std::uint64_t> dead_ends_{0};
   std::atomic<bool> stop_{false};
   std::atomic<int> reason_{-1};
-  support::Stopwatch clock_;
+  support::Stopwatch clock_;  // lint:allow(wall-clock) -- stopping rule 3
 };
 
 /// Per-thread accumulator. Publishes to the sink in batches; every flush
-/// also evaluates the time rule.
+/// also evaluates the time rule. Not thread-safe by design: each worker
+/// owns exactly one instance.
 class LocalCounters {
  public:
   LocalCounters(CounterSink& sink, std::uint32_t tree_batch,
@@ -110,19 +123,29 @@ class LocalCounters {
   std::uint64_t flush_count() const { return flushes_; }
 
  private:
+  // Hot-path invariants: a pending local count never exceeds its batch (the
+  // increment paths flush exactly at the threshold), and a flush always
+  // publishes a non-zero delta — publishing zero would still pay an atomic
+  // RMW and could spuriously trip a stopping-rule comparison.
   void flush_trees() {
+    GENTRIUS_DCHECK_GT(trees_, 0u);
+    GENTRIUS_DCHECK_LE(trees_, tree_batch_);
     sink_->add_stand_trees(trees_);
     trees_ = 0;
     ++flushes_;
     sink_->check_time();
   }
   void flush_states() {
+    GENTRIUS_DCHECK_GT(states_, 0u);
+    GENTRIUS_DCHECK_LE(states_, state_batch_);
     sink_->add_states(states_);
     states_ = 0;
     ++flushes_;
     sink_->check_time();
   }
   void flush_dead_ends() {
+    GENTRIUS_DCHECK_GT(dead_ends_, 0u);
+    GENTRIUS_DCHECK_LE(dead_ends_, dead_end_batch_);
     sink_->add_dead_ends(dead_ends_);
     dead_ends_ = 0;
     ++flushes_;

@@ -4,7 +4,9 @@
 
 #include "phylo/newick.hpp"
 #include "phylo/topology.hpp"
+#include "support/check.hpp"
 #include "support/error.hpp"
+#include "support/invariant.hpp"
 #include "support/rng.hpp"
 
 namespace gentrius::core {
@@ -122,6 +124,7 @@ std::size_t Enumerator::rewind_to_split() {
     ++removals;
   }
   replay_records_.clear();
+  GENTRIUS_DCHECK(path_.empty());  // back at I0: no residual insertions
   mode_ = Mode::kDone;
   return removals;
 }
@@ -158,6 +161,7 @@ void Enumerator::maybe_offer_task(Frame& f) {
 }
 
 void Enumerator::apply_branch(Frame& f, bool count) {
+  GENTRIUS_DCHECK_LT(f.next, f.branches.size());
   const EdgeId e = f.branches[f.next++];
   f.rec = terrace_.insert(f.taxon, e);
   f.applied = true;
@@ -167,6 +171,7 @@ void Enumerator::apply_branch(Frame& f, bool count) {
 }
 
 Enumerator::Step Enumerator::step() {
+  GENTRIUS_DCHECK_LE(depth_, frames_.size());
   if (mode_ == Mode::kDone) return Step::kExhausted;
   if (sink_->stop_requested()) return Step::kStopped;
 

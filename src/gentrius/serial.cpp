@@ -10,7 +10,8 @@ Result run_serial(const Problem& problem, const Options& options) {
   opts.state_flush_batch = 1;
   opts.dead_end_flush_batch = 1;
 
-  support::Stopwatch clock;
+  // Diagnostic wall time for Result::seconds; never feeds the enumeration.
+  support::Stopwatch clock;  // lint:allow(wall-clock)
   CounterSink sink(opts.stop);
   Enumerator e(problem, opts, sink);
 

@@ -6,6 +6,7 @@
 #include "gentrius/counters.hpp"
 #include "gentrius/enumerator.hpp"
 #include "parallel/task_queue.hpp"
+#include "support/invariant.hpp"
 #include "support/stopwatch.hpp"
 
 #ifdef _OPENMP
@@ -42,6 +43,7 @@ std::pair<std::size_t, std::size_t> slice_for(std::size_t tid,
   const std::size_t extra = total % n_threads;
   const std::size_t begin = tid * base + std::min(tid, extra);
   const std::size_t len = base + (tid < extra ? 1 : 0);
+  GENTRIUS_DCHECK_LE(begin + len, total);  // slices partition [0, total)
   return {begin, len};
 }
 
@@ -60,9 +62,14 @@ bool drain(Enumerator& e) {
   }
 }
 
+// Shared-state discipline (checked by Clang -Wthread-safety where locks are
+// involved): `queue` guards its own members internally (task_queue.hpp),
+// `sink` is lock-free atomics (counters.hpp), and each worker writes only
+// its own `out` slot — the pool joins every thread before reading them.
 void worker_body(std::size_t tid, std::size_t n_threads,
                  const Problem& problem, const Options& options,
                  CounterSink& sink, TaskQueue* queue, WorkerOutput& out) {
+  GENTRIUS_DCHECK_LT(tid, n_threads);
   // Each thread builds its private Terrace and re-executes the deterministic
   // prefix (paper: "the first stages of execution are identical across all
   // threads"); only thread 0 counts those states.

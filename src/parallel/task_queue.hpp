@@ -8,16 +8,20 @@
 // Termination detection: the queue tracks how many workers are busy. The
 // last worker to go idle with an empty queue declares the run finished and
 // wakes everyone. A stopping rule (CounterSink) also releases all waiters.
+//
+// All shared state is guarded by mutex_ and annotated for Clang's
+// -Wthread-safety analysis (see support/thread_annotations.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "gentrius/counters.hpp"
 #include "gentrius/enumerator.hpp"
+#include "support/invariant.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace gentrius::parallel {
 
@@ -33,10 +37,12 @@ class TaskQueue final : public core::TaskSink {
       : capacity_(capacity), busy_(workers) {}
 
   /// Producer side (called from inside Enumerator::step). Non-blocking:
-  /// a full queue rejects the task and the producer keeps the branches.
-  bool try_push(core::Task&& task) override {
+  /// a full queue rejects the task and the producer keeps the branches;
+  /// a terminated queue (done_) rejects every task.
+  bool try_push(core::Task&& task) override GENTRIUS_EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      support::MutexLock lock(mutex_);
+      GENTRIUS_DCHECK_LE(tasks_.size(), capacity_);
       if (done_ || tasks_.size() >= capacity_) return false;
       tasks_.push_back(std::move(task));
     }
@@ -48,44 +54,55 @@ class TaskQueue final : public core::TaskSink {
   /// work arrives, and hands out a task (caller becomes busy again).
   /// Returns nullopt when the pool terminated — all workers idle with an
   /// empty queue — or a stopping rule fired.
-  std::optional<core::Task> pop(const core::CounterSink& sink) {
-    std::unique_lock lock(mutex_);
-    if (--busy_ == 0 && tasks_.empty()) {
-      done_ = true;
-      lock.unlock();
-      cv_.notify_all();
-      return std::nullopt;
-    }
-    for (;;) {
-      cv_.wait(lock, [&] {
-        return !tasks_.empty() || done_ || sink.stop_requested();
-      });
-      if (done_ || sink.stop_requested()) return std::nullopt;
-      if (!tasks_.empty()) {
-        core::Task task = std::move(tasks_.front());
-        tasks_.pop_front();
-        ++busy_;
-        return task;
+  std::optional<core::Task> pop(const core::CounterSink& sink)
+      GENTRIUS_EXCLUDES(mutex_) {
+    std::optional<core::Task> out;
+    bool i_terminated = false;
+    {
+      support::MutexLock lock(mutex_);
+      GENTRIUS_DCHECK_GT(busy_, 0u);
+      if (--busy_ == 0 && tasks_.empty()) {
+        done_ = true;
+        i_terminated = true;
+      } else {
+        for (;;) {
+          if (done_ || sink.stop_requested()) break;
+          if (!tasks_.empty()) {
+            out = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++busy_;
+            break;
+          }
+          cv_.wait(mutex_);
+        }
       }
     }
+    if (i_terminated) cv_.notify_all();
+    return out;
   }
 
   /// Wakes all waiters (after a stopping rule fired).
-  void broadcast_stop() {
+  void broadcast_stop() GENTRIUS_EXCLUDES(mutex_) {
     {
-      std::scoped_lock lock(mutex_);
+      support::MutexLock lock(mutex_);
       done_ = true;
     }
     cv_.notify_all();
   }
 
+  /// Diagnostics (tests): current queue occupancy.
+  std::size_t size() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    return tasks_.size();
+  }
+
  private:
   const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<core::Task> tasks_;
-  std::size_t busy_;
-  bool done_ = false;
+  mutable support::Mutex mutex_;
+  support::CondVar cv_;
+  std::deque<core::Task> tasks_ GENTRIUS_GUARDED_BY(mutex_);
+  std::size_t busy_ GENTRIUS_GUARDED_BY(mutex_);
+  bool done_ GENTRIUS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gentrius::parallel

@@ -1,13 +1,15 @@
 // Lightweight internal invariant checks.
 //
 // GENTRIUS_CHECK is always on (cheap conditions guarding API misuse and data
-// structure invariants); GENTRIUS_DCHECK compiles away in release builds and
-// is used inside performance-critical loops.
+// structure invariants). The GENTRIUS_DCHECK* family lives in
+// support/invariant.hpp (re-exported here): active in debug and sanitizer
+// builds, compiled out in release, used inside performance-critical loops.
 #pragma once
 
 #include <string>
 
 #include "support/error.hpp"
+#include "support/invariant.hpp"
 
 namespace gentrius::support::detail {
 
@@ -23,11 +25,3 @@ namespace gentrius::support::detail {
     if (!(expr)) [[unlikely]]                                                 \
       ::gentrius::support::detail::check_failed(#expr, __FILE__, __LINE__);   \
   } while (false)
-
-#ifdef NDEBUG
-#define GENTRIUS_DCHECK(expr) \
-  do {                        \
-  } while (false)
-#else
-#define GENTRIUS_DCHECK(expr) GENTRIUS_CHECK(expr)
-#endif

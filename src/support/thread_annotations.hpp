@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// Wrapping the attributes lets the whole codebase annotate its locking
+// discipline while remaining compilable by GCC (which ignores the analysis):
+// under Clang the build adds -Wthread-safety -Werror=thread-safety, so an
+// unannotated access to a guarded member, a missing REQUIRES on a helper, or
+// an unlock on the wrong path is a compile error; under any other compiler
+// every macro expands to nothing.
+//
+// Conventions used in this project (see docs/TOOLING.md):
+//   * shared state is a member annotated GENTRIUS_GUARDED_BY(mutex_);
+//   * internal helpers that expect the lock held take GENTRIUS_REQUIRES;
+//   * locking goes through support::Mutex / support::MutexLock /
+//     support::CondVar (support/sync.hpp), never bare std::mutex, because
+//     libstdc++'s std::mutex carries no capability attributes;
+//   * single-threaded-by-design classes (the virtual-time scheduler) use
+//     support::SequentialRole, a lock-free capability that mechanically
+//     documents "only the owning scheduler thread may touch this".
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GENTRIUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GENTRIUS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable). The string names the capability
+/// kind in diagnostics ("mutex", "role", ...).
+#define GENTRIUS_CAPABILITY(x) GENTRIUS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define GENTRIUS_SCOPED_CAPABILITY GENTRIUS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GENTRIUS_GUARDED_BY(x) GENTRIUS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define GENTRIUS_PT_GUARDED_BY(x) GENTRIUS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and keeps it held).
+#define GENTRIUS_REQUIRES(...) \
+  GENTRIUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability NOT held.
+#define GENTRIUS_EXCLUDES(...) \
+  GENTRIUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (held on return).
+#define GENTRIUS_ACQUIRE(...) \
+  GENTRIUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability (no longer held on return).
+#define GENTRIUS_RELEASE(...) \
+  GENTRIUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define GENTRIUS_TRY_ACQUIRE(ret, ...) \
+  GENTRIUS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Accessor returning a reference to the named capability, so callers can
+/// write `Guard g(obj.mu());` and the analysis unifies it with `obj.mu_`.
+#define GENTRIUS_RETURN_CAPABILITY(x) \
+  GENTRIUS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Used only where the
+/// analysis cannot follow the code (e.g. lock ownership handed through
+/// std::condition_variable internals); every use carries a justification.
+#define GENTRIUS_NO_THREAD_SAFETY_ANALYSIS \
+  GENTRIUS_THREAD_ANNOTATION(no_thread_safety_analysis)

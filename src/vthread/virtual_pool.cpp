@@ -10,7 +10,10 @@
 #include "gentrius/enumerator.hpp"
 #include "parallel/task_queue.hpp"
 #include "support/check.hpp"
+#include "support/invariant.hpp"
 #include "support/stopwatch.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace gentrius::vthread {
 
@@ -24,16 +27,31 @@ using core::Task;
 
 namespace {
 
-/// Simulated bounded queue. Single real thread: no locking; the push cost is
-/// charged to whichever worker's clock is installed as the producer.
+/// Simulated bounded queue. The simulation runs on one OS thread, so there
+/// is no lock; instead every member is guarded by a SequentialRole
+/// capability. Under Clang -Wthread-safety this proves at compile time that
+/// the queue is only ever touched from inside the scheduler's RoleGuard
+/// scope — the mechanical form of the determinism guarantee the header
+/// documents. The push cost is charged to whichever worker's clock is
+/// installed as the producer.
 class VirtualQueue final : public core::TaskSink {
  public:
   VirtualQueue(std::size_t capacity, double queue_cost)
       : capacity_(capacity), queue_cost_(queue_cost) {}
 
-  void set_producer_clock(double* clock) { producer_clock_ = clock; }
+  /// The scheduler capability; the event loop holds it for the whole run.
+  support::SequentialRole& role() GENTRIUS_RETURN_CAPABILITY(role_) {
+    return role_;
+  }
 
-  bool try_push(Task&& task) override {
+  void set_producer_clock(double* clock) GENTRIUS_REQUIRES(role_) {
+    producer_clock_ = clock;
+  }
+
+  // Called through core::TaskSink from inside Enumerator::step, which only
+  // runs while the event loop (holding the role) steps the worker.
+  bool try_push(Task&& task) override GENTRIUS_REQUIRES(role_) {
+    GENTRIUS_DCHECK_LE(entries_.size(), capacity_);
     if (entries_.size() >= capacity_) return false;
     GENTRIUS_DCHECK(producer_clock_ != nullptr);
     *producer_clock_ += queue_cost_;
@@ -41,10 +59,15 @@ class VirtualQueue final : public core::TaskSink {
     return true;
   }
 
-  bool empty() const { return entries_.empty(); }
-  double front_available_at() const { return entries_.front().available_at; }
+  bool empty() const GENTRIUS_REQUIRES(role_) { return entries_.empty(); }
 
-  Task pop_front() {
+  double front_available_at() const GENTRIUS_REQUIRES(role_) {
+    GENTRIUS_DCHECK(!entries_.empty());
+    return entries_.front().available_at;
+  }
+
+  Task pop_front() GENTRIUS_REQUIRES(role_) {
+    GENTRIUS_DCHECK(!entries_.empty());
     Task t = std::move(entries_.front().task);
     entries_.pop_front();
     return t;
@@ -57,8 +80,9 @@ class VirtualQueue final : public core::TaskSink {
   };
   const std::size_t capacity_;
   const double queue_cost_;
-  std::deque<Entry> entries_;
-  double* producer_clock_ = nullptr;
+  support::SequentialRole role_;
+  std::deque<Entry> entries_ GENTRIUS_GUARDED_BY(role_);
+  double* producer_clock_ GENTRIUS_GUARDED_BY(role_) = nullptr;
 };
 
 struct VWorker {
@@ -73,7 +97,9 @@ Result run_simulation(const Problem& problem, const Options& user_options,
                       std::size_t n_threads, const CostModel& costs,
                       const VirtualRules& rules, bool work_stealing) {
   GENTRIUS_CHECK(n_threads >= 1);
-  support::Stopwatch wall;
+  // Diagnostic only: how long the simulation itself took on the host. The
+  // simulated schedule depends exclusively on virtual clocks.
+  support::Stopwatch wall;  // lint:allow(wall-clock)
 
   Options options = user_options;
   const bool serial = n_threads == 1;
@@ -91,6 +117,8 @@ Result run_simulation(const Problem& problem, const Options& user_options,
 
   CounterSink sink(options.stop);
   VirtualQueue queue(parallel::queue_capacity_for(n_threads), costs.queue_cost);
+  // Single-threaded simulation: assume the scheduler role for the whole run.
+  support::RoleGuard scheduler(queue.role());
 
   std::vector<VWorker> workers(n_threads);
   Result result;
@@ -116,6 +144,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
       const std::size_t extra = total % n_threads;
       const std::size_t begin = tid * base + std::min(tid, extra);
       const std::size_t len = base + (tid < extra ? 1 : 0);
+      GENTRIUS_DCHECK_LE(begin + len, total);
       if (len > 0) {
         std::vector<core::EdgeId> slice(
             prefix.branches.begin() + static_cast<std::ptrdiff_t>(begin),
@@ -157,6 +186,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
       // An idle worker dequeues the oldest task and replays its path.
       VWorker& w = workers[idle_idx];
       const Task task = queue.pop_front();
+      GENTRIUS_DCHECK_GE(steal_time, w.clock);  // virtual time never rewinds
       w.clock = steal_time + costs.queue_cost;
       const std::size_t replayed = w.enumerator->adopt_task(task);
       w.clock += static_cast<double>(replayed) * costs.replay_cost;
@@ -172,6 +202,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
     queue.set_producer_clock(&w.clock);
     const auto step = w.enumerator->step();
     const std::uint64_t flushes = w.enumerator->counters().flush_count();
+    GENTRIUS_DCHECK_GE(flushes, w.last_flushes);  // flush counts are monotone
     w.clock += costs.state_cost +
                static_cast<double>(flushes - w.last_flushes) * flush_unit;
     w.last_flushes = flushes;

@@ -13,7 +13,11 @@
 // mechanism the paper describes, independent of host parallelism.
 //
 // Because workers are stepped in virtual-time order by a single OS thread,
-// the simulation is fully deterministic and repeatable.
+// the simulation is fully deterministic and repeatable. That guarantee is
+// enforced mechanically: tools/lint_determinism.py (a CTest test) rejects
+// wall-clock reads, ambient randomness and unordered iteration in this
+// directory, and the scheduler state is guarded by a Clang thread-safety
+// SequentialRole capability (see docs/TOOLING.md).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,226 @@
+// TSan-focused stress tests for the steal/terminate/stop-rule edges of the
+// work-stealing queue and the batched counter sink (paper §III-A/B).
+//
+// These tests are about *interleavings*, not outcomes: each scenario drives
+// many threads through a narrow synchronization window (producers racing
+// broadcast_stop, last-worker termination racing a late try_push, flush
+// storms into one CounterSink) and asserts the linearizable invariants that
+// must survive every schedule. Run them under GENTRIUS_SAN=thread (the
+// `tsan` preset) to turn any data race into a failure; they also pass — and
+// check the same invariants — in plain builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gentrius/counters.hpp"
+#include "parallel/task_queue.hpp"
+
+namespace gentrius::parallel {
+namespace {
+
+core::Task make_task(int tag) {
+  core::Task t;
+  t.next_taxon = static_cast<core::TaxonId>(tag);
+  return t;
+}
+
+// --- producers hammering try_push while broadcast_stop fires ---------------
+//
+// The edge under test: a stopping rule fires while external producers are
+// mid-push and consumers are blocked in pop(). Every schedule must (a) let
+// all threads exit, (b) reject every push after done_ is set, and (c) hand
+// each accepted task to at most one consumer.
+TEST(RaceStress, PushStormVersusBroadcastStop) {
+  constexpr int kRounds = 40;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kProducers = 4;
+
+  for (int round = 0; round < kRounds; ++round) {
+    core::CounterSink sink({});
+    TaskQueue queue(/*capacity=*/4, /*workers=*/kConsumers);
+    std::atomic<int> consumed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> producers_done{false};
+
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        while (auto task = queue.pop(sink)) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        int tag = static_cast<int>(p) * 10000;
+        while (!producers_done.load(std::memory_order_acquire)) {
+          if (queue.try_push(make_task(tag++)))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      });
+    }
+
+    // Let the storm develop, then fire the stopping rule mid-flight.
+    for (int spin = 0; spin < 100 * (round % 7 + 1); ++spin)
+      std::this_thread::yield();
+    sink.request_stop(core::StopReason::kTreeLimit);
+    queue.broadcast_stop();
+    producers_done.store(true, std::memory_order_release);
+
+    for (auto& t : threads) t.join();
+
+    // Consumers never see more tasks than producers enqueued; tasks left in
+    // the queue when the stop landed are the only permissible shortfall.
+    EXPECT_LE(consumed.load(), accepted.load());
+    EXPECT_FALSE(queue.try_push(make_task(-1)))
+        << "queue must stay terminated after broadcast_stop";
+  }
+}
+
+// --- last-worker termination racing a late try_push ------------------------
+//
+// The edge under test: both workers drain toward idle while a third thread
+// pushes one final task. Linearizability of pop's termination check demands
+// that a push accepted before done_ is always consumed (termination requires
+// an empty queue), and a push after done_ is always rejected — a lost task
+// here is exactly the silent race this suite exists to catch.
+TEST(RaceStress, LastWorkerTerminationRacesLatePush) {
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    core::CounterSink sink({});
+    TaskQueue queue(/*capacity=*/2, /*workers=*/2);
+    std::atomic<int> consumed{0};
+    std::atomic<int> accepted{0};
+
+    std::thread pusher([&] {
+      // Vary the push timing across rounds to sweep the race window.
+      for (int spin = 0; spin < round % 50; ++spin) std::this_thread::yield();
+      if (queue.try_push(make_task(round)))
+        accepted.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::thread worker_a([&] {
+      while (auto task = queue.pop(sink))
+        consumed.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::thread worker_b([&] {
+      while (auto task = queue.pop(sink))
+        consumed.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    pusher.join();
+    worker_a.join();
+    worker_b.join();
+
+    EXPECT_EQ(consumed.load(), accepted.load())
+        << "an accepted task was lost (or duplicated) in round " << round;
+    EXPECT_FALSE(queue.try_push(make_task(-1)))
+        << "try_push must reject after termination";
+  }
+}
+
+// --- workers re-offering tasks while the pool drains -----------------------
+//
+// Production-shaped traffic: busy workers intermittently push subtasks while
+// idle workers steal, with the queue repeatedly bouncing between full and
+// empty until the pool terminates itself (no external stop). Checks the
+// busy-count bookkeeping: exactly every accepted task is consumed.
+TEST(RaceStress, SelfDrainingPoolWithReoffers) {
+  constexpr int kRounds = 20;
+  constexpr std::size_t kWorkers = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    core::CounterSink sink({});
+    TaskQueue queue(queue_capacity_for(kWorkers), kWorkers);
+    std::atomic<int> consumed{0};
+    std::atomic<int> accepted{0};
+
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&, w] {
+        // Seed the queue while "busy", then drain; every fifth consumed task
+        // re-offers a child task that does not itself spawn more work.
+        for (int i = 0; i < 40; ++i) {
+          if (queue.try_push(make_task(static_cast<int>(w) * 1000 + i + 2)))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (auto task = queue.pop(sink)) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          if (task->next_taxon % 5 == 0 && queue.try_push(make_task(1)))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(consumed.load(), accepted.load());
+    EXPECT_EQ(queue.size(), 0u) << "pool terminated with tasks still queued";
+  }
+}
+
+// --- counter-flush storms across >= 8 threads ------------------------------
+//
+// Every thread owns a LocalCounters with tiny batch sizes and publishes into
+// one CounterSink as fast as it can. The totals are exact sums regardless of
+// interleaving; under TSan this also proves the relaxed-atomic publication
+// protocol is race-free.
+TEST(RaceStress, CounterFlushStorm) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kTreesPer = 2000;
+  constexpr std::uint64_t kStatesPer = 5000;
+  constexpr std::uint64_t kDeadEndsPer = 3000;
+
+  core::CounterSink sink({});  // default limits: far out of reach
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      core::LocalCounters local(sink, /*tree_batch=*/3, /*state_batch=*/7,
+                                /*dead_end_batch=*/2);
+      for (std::uint64_t n = 0; n < kStatesPer; ++n) local.count_state();
+      for (std::uint64_t n = 0; n < kTreesPer; ++n) local.count_stand_tree();
+      for (std::uint64_t n = 0; n < kDeadEndsPer; ++n) local.count_dead_end();
+      local.flush_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(sink.stand_trees(), kThreads * kTreesPer);
+  EXPECT_EQ(sink.states(), kThreads * kStatesPer);
+  EXPECT_EQ(sink.dead_ends(), kThreads * kDeadEndsPer);
+  EXPECT_EQ(sink.reason(), core::StopReason::kCompleted);
+}
+
+// --- stopping-rule storm: many threads trip the limit at once --------------
+//
+// All threads race to cross max_states simultaneously; the reason CAS must
+// record exactly one rule and the published total must be at least the
+// limit (overshoot bounded by threads * batch, as the paper documents).
+TEST(RaceStress, StopRuleFiresOnceUnderFlushStorm) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kLimit = 10000;
+  core::StoppingRules rules;
+  rules.max_states = kLimit;
+
+  core::CounterSink sink(rules);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      core::LocalCounters local(sink, 8, 8, 8);
+      while (!sink.stop_requested()) local.count_state();
+      local.flush_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(sink.reason(), core::StopReason::kStateLimit);
+  EXPECT_TRUE(sink.stop_requested());
+  EXPECT_GE(sink.states(), kLimit);
+  // Overshoot is bounded by in-flight batches (threads * batch) plus the
+  // propagation window of the stop flag; 2x the limit is far beyond both.
+  EXPECT_LE(sink.states(), 2 * kLimit);
+}
+
+}  // namespace
+}  // namespace gentrius::parallel

@@ -79,6 +79,50 @@ TEST(TaskQueue, StopReleasesWaiters) {
   EXPECT_TRUE(released.load());
 }
 
+TEST(TaskQueue, PopReturnsNulloptAfterStopWithTasksStillEnqueued) {
+  // A stopping rule fired while the queue still holds work: pop must not
+  // hand out the stale tasks, it must report termination.
+  core::CounterSink sink({});
+  TaskQueue q(4, /*workers=*/2);
+  ASSERT_TRUE(q.try_push(make_task(1)));
+  ASSERT_TRUE(q.try_push(make_task(2)));
+  ASSERT_EQ(q.size(), 2u);
+  sink.request_stop(core::StopReason::kStateLimit);
+  q.broadcast_stop();
+  EXPECT_FALSE(q.pop(sink).has_value());
+  EXPECT_FALSE(q.pop(sink).has_value());
+  EXPECT_EQ(q.size(), 2u);  // tasks abandoned, not delivered
+}
+
+TEST(TaskQueue, PopHonoursSinkStopEvenWithoutBroadcast) {
+  // The sink's stop flag alone (no broadcast_stop yet) must already prevent
+  // task hand-out to a worker arriving at pop().
+  core::CounterSink sink({});
+  TaskQueue q(4, /*workers=*/2);
+  ASSERT_TRUE(q.try_push(make_task(7)));
+  sink.request_stop(core::StopReason::kTreeLimit);
+  EXPECT_FALSE(q.pop(sink).has_value());
+}
+
+TEST(TaskQueue, TryPushRejectedAfterTermination) {
+  // done_ set by broadcast_stop: every subsequent push must be rejected so
+  // producers keep their branches instead of leaking them into a dead queue.
+  core::CounterSink sink({});
+  TaskQueue q(4, /*workers=*/2);
+  q.broadcast_stop();
+  EXPECT_FALSE(q.try_push(make_task(1)));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TaskQueue, TryPushRejectedAfterLastWorkerTerminates) {
+  // done_ set by the termination-detection path (last worker idle, queue
+  // empty) rather than by broadcast_stop.
+  core::CounterSink sink({});
+  TaskQueue q(4, /*workers=*/1);
+  EXPECT_FALSE(q.pop(sink).has_value());  // sole worker goes idle: done
+  EXPECT_FALSE(q.try_push(make_task(1)));
+}
+
 TEST(TaskQueue, ManyThreadsStress) {
   // Producers/consumers hammering the queue; the test asserts clean
   // termination and that every pushed task is consumed at most once.
