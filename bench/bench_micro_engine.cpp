@@ -47,6 +47,35 @@ void BM_SerialStateThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialStateThroughput)->Unit(benchmark::kMillisecond);
 
+void BM_SerialStateThroughputMultiConstraint(benchmark::State& state) {
+  // The heavy-overlap configuration (56 taxa, 12 loci, 55 % missing): most
+  // taxa occur in several constraint trees, so candidate selection runs the
+  // multi-constraint preimage-list intersection and every insertion dirties
+  // several mappings. This is the configuration the hot-path overhaul is
+  // gated on (docs/PERFORMANCE.md); tools/run_benchmarks.py records its
+  // states/s into BENCH_4.json.
+  datagen::SimulatedParams p;
+  p.n_taxa = 56;
+  p.n_loci = 12;
+  p.missing_fraction = 0.55;
+  p.seed = 7014;
+  const auto ds = datagen::make_simulated(p);
+  core::Options opts;
+  opts.stop.max_states = 300'000;
+  opts.stop.max_stand_trees = 1'000'000'000;
+  const auto problem = core::build_problem(ds.constraints, opts);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto r = core::run_serial(problem, opts);
+    states += r.intermediate_states;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(states));
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SerialStateThroughputMultiConstraint)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TaskReplay(benchmark::State& state) {
   core::Options opts;
   const auto problem = core::build_problem(bench_dataset().constraints, opts);

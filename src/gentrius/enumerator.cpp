@@ -147,15 +147,19 @@ void Enumerator::maybe_offer_task(Frame& f) {
   // finishing that subtree is cheaper than the stealing round-trip.
   if (terrace_.remaining_count() < 3) return;
   if (f.branches.size() < 2) return;
+  GENTRIUS_DCHECK(f.next == 0);  // frame freshly set up, nothing consumed yet
   const std::size_t half = f.branches.size() / 2;
-  Task task;
-  task.path = path_;
-  task.next_taxon = f.taxon;
-  task.branches.assign(f.branches.begin(),
-                       f.branches.begin() + static_cast<std::ptrdiff_t>(half));
-  if (task_sink_->try_push(std::move(task))) {
-    f.branches.erase(f.branches.begin(),
-                     f.branches.begin() + static_cast<std::ptrdiff_t>(half));
+  // The pooled task's vectors keep their capacity across offers; assign()
+  // copies the elements without reallocating in the steady state.
+  offer_task_.path = path_;
+  offer_task_.next_taxon = f.taxon;
+  offer_task_.branches.assign(
+      f.branches.begin(),
+      f.branches.begin() + static_cast<std::ptrdiff_t>(half));
+  if (task_sink_->try_push(offer_task_)) {
+    // The delegated first half is skipped by advancing the cursor — no
+    // erase(), the vector is left untouched.
+    f.next = half;
     ++tasks_offered_;
   }
 }

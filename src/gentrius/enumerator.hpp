@@ -40,10 +40,14 @@ struct Task {
 /// Where offered tasks go. Implemented by the drivers (bounded queue for
 /// real threads, simulated queue for virtual time). try_push returns false
 /// when the queue is full — the enumerator then keeps the whole branch set.
+/// The task is passed by reference and COPIED by an accepting sink into its
+/// own pre-sized storage; producers hand in a pooled Task whose vectors are
+/// reused across offers, so the steady-state offer path performs no
+/// allocation on either side.
 class TaskSink {
  public:
   virtual ~TaskSink() = default;
-  virtual bool try_push(Task&& task) = 0;
+  virtual bool try_push(const Task& task) = 0;
 };
 
 class Enumerator {
@@ -138,6 +142,7 @@ class Enumerator {
   Mode mode_ = Mode::kDone;
 
   std::vector<std::pair<TaxonId, EdgeId>> path_;  // insertions since I0
+  Task offer_task_;  // pooled offer: vectors keep their capacity across offers
   std::vector<EdgeId> branch_scratch_;
   std::vector<std::string> collected_;
   std::uint64_t tasks_offered_ = 0;

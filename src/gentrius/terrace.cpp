@@ -7,6 +7,16 @@
 
 namespace gentrius::core {
 
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 Terrace::Terrace(const Problem& problem, bool incremental)
     : problem_(&problem),
       agile_(problem.constraints[problem.initial_constraint]),
@@ -15,7 +25,20 @@ Terrace::Terrace(const Problem& problem, bool incremental)
   agile_.reserve_for_leaves(problem.all_taxa.count());
 
   for (const TaxonId t : agile_.taxa()) inserted_.set(t);
-  remaining_ = problem.missing_taxa;
+
+  // Remaining-taxa dancing-links list, ascending, sentinel at n_taxa.
+  const TaxonId sentinel = static_cast<TaxonId>(problem.n_taxa);
+  rem_next_.assign(problem.n_taxa + 1, sentinel);
+  rem_prev_.assign(problem.n_taxa + 1, sentinel);
+  TaxonId prev = sentinel;
+  for (const TaxonId t : problem.missing_taxa) {
+    rem_next_[prev] = t;
+    rem_prev_[t] = prev;
+    prev = t;
+  }
+  rem_next_[prev] = sentinel;
+  rem_prev_[sentinel] = prev;
+  remaining_count_ = problem.missing_taxa.size();
 
   const std::size_t m = problem.constraints.size();
   common_count_.resize(m);
@@ -31,154 +54,369 @@ Terrace::Terrace(const Problem& problem, bool incremental)
 
   computed_.assign(m, 0);
   dirty_.assign(m, 1);
+  dirty_mut_.assign(m, 0);
 
   const std::size_t n_total = problem.all_taxa.count();
-  const std::size_t max_edges = n_total < 2 ? 1 : 2 * n_total;  // capacity bound
-  edge_key_.assign(m, std::vector<std::uint64_t>(max_edges, 0));
-  bucket_.assign(m, support::KeyMap(2 * n_total + 8));
-  target_key_.assign(m, std::vector<std::uint64_t>(problem.n_taxa, 0));
+  max_edges_ = n_total < 2 ? 1 : 2 * n_total;  // capacity bound
+  // Per-constraint mapping storage stays empty until the constraint first
+  // activates (ensure_constraint_storage); only the outer vectors are paid
+  // up front.
+  edge_slot_.resize(m);
+  target_slot_.resize(m);
+  slot_count_.resize(m);
+  slot_head_.resize(m);
+  link_next_.resize(m);
+  link_prev_.resize(m);
+  n_slots_.assign(m, 0);
+  ctrav_.resize(m);
+  target_key_.resize(m);
+  have_target_keys_.assign(m, 0);
+  cdelta_.resize(m);
+
+  cached_count_.assign(problem.n_taxa, 0);
+  cache_mut_.assign(problem.n_taxa, 0);
+  cache_valid_.assign(problem.n_taxa, 0);
+  // Ring must comfortably hold one full DFS path of insert events plus the
+  // backtracking churn between two evaluations of the same taxon.
+  journal_.resize(pow2_at_least(4 * n_total + 64));
 
   std::size_t max_vertices = 2 * n_total;  // agile bound
   for (const auto& t : problem.constraints)
     max_vertices = std::max(max_vertices, t.vertex_capacity() + 1);
-  order_.reserve(max_vertices);
-  stack_.reserve(max_vertices);
-  parent_vertex_.resize(max_vertices);
-  parent_edge_.resize(max_vertices);
   cnt_.resize(max_vertices);
   xorv_.resize(max_vertices);
   ctx_.resize(max_vertices);
+  ctx_slot_.resize(max_vertices);
+  trav_stack_.reserve(max_vertices);
+}
+
+std::vector<TaxonId> Terrace::remaining() const {
+  std::vector<TaxonId> out;
+  out.reserve(remaining_count_);
+  const TaxonId sentinel = static_cast<TaxonId>(problem_->n_taxa);
+  for (TaxonId x = rem_next_[sentinel]; x != sentinel; x = rem_next_[x])
+    out.push_back(x);
+  return out;
+}
+
+void Terrace::ensure_constraint_storage(std::size_t i) {
+  if (!edge_slot_[i].empty()) return;
+  edge_slot_[i].assign(max_edges_, kNoSlot);
+  target_slot_[i].assign(problem_->n_taxa, kNoSlot);
+  slot_count_[i].assign(max_edges_, 0);
+  slot_head_[i].assign(max_edges_, kNoId);
+  link_next_[i].assign(max_edges_, kNoId);
+  link_prev_[i].assign(max_edges_, kNoId);
+  target_key_[i].assign(problem_->n_taxa, 0);
+}
+
+std::size_t Terrace::mapping_storage_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < edge_slot_.size(); ++i) {
+    total += edge_slot_[i].capacity() * sizeof(std::uint32_t);
+    total += target_slot_[i].capacity() * sizeof(std::uint32_t);
+    total += slot_count_[i].capacity() * sizeof(std::uint32_t);
+    total += slot_head_[i].capacity() * sizeof(EdgeId);
+    total += link_next_[i].capacity() * sizeof(EdgeId);
+    total += link_prev_[i].capacity() * sizeof(EdgeId);
+    total += target_key_[i].capacity() * sizeof(std::uint64_t);
+    total += cdelta_[i].capacity() * sizeof(std::int32_t);
+    total += ctrav_[i].parent_pos.capacity() * sizeof(std::uint32_t);
+    total += ctrav_[i].edge.capacity() * sizeof(EdgeId);
+    total += ctrav_[i].taxon.capacity() * sizeof(TaxonId);
+  }
+  return total;
+}
+
+void Terrace::preimage_push(std::size_t i, std::uint32_t s, EdgeId e) {
+  auto& next = link_next_[i];
+  auto& prev = link_prev_[i];
+  EdgeId& head = slot_head_[i][s];
+  next[e] = head;
+  prev[e] = kNoId;
+  if (head != kNoId) prev[head] = e;
+  head = e;
+}
+
+void Terrace::preimage_unlink(std::size_t i, std::uint32_t s, EdgeId e) {
+  auto& next = link_next_[i];
+  auto& prev = link_prev_[i];
+  const EdgeId p = prev[e];
+  const EdgeId n = next[e];
+  if (p != kNoId)
+    next[p] = n;
+  else
+    slot_head_[i][s] = n;
+  if (n != kNoId) prev[n] = p;
+}
+
+void Terrace::journal_push(EdgeId split_edge, std::int8_t sign) {
+  journal_[mutation_count_ & (journal_.size() - 1)] =
+      MutEvent{split_edge, sign};
+  ++mutation_count_;
+  if (mutation_count_ - journal_base_ > journal_.size())
+    journal_base_ = mutation_count_ - journal_.size();
 }
 
 InsertRecord Terrace::insert(TaxonId x, EdgeId e) {
   GENTRIUS_DCHECK(!inserted_.test(x));
+  const std::uint64_t ev = mutation_count_;
+  const std::int32_t tok = static_cast<std::int32_t>(x) + 1;
   for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
     ++common_count_[i];
     --remaining_in_[i];
     dirty_[i] = 1;  // the common taxon set of T_i changed
+    dirty_mut_[i] = ev;
+    if (incremental_) {
+      auto& d = cdelta_[i];
+      if (!d.empty() && d.back() == -tok)
+        d.pop_back();  // cancels the matching remove: net C_i change is nil
+      else
+        d.push_back(tok);
+    }
   }
   if (!incremental_) {
-    for (auto& d : dirty_) d = 1;
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+      dirty_[i] = 1;
+      dirty_mut_[i] = ev;
+    }
   }
   const InsertRecord rec = agile_.insert_leaf(x, e);
   if (incremental_) {
     // x is not in any clean constraint's taxon set, so every clean mapping
     // stays structurally valid: the retained half of the split edge keeps
-    // its key, and the moved half plus the pendant edge attach strictly
-    // inside the same common-subtree edge — same key, bucket grows by two.
+    // its slot, and the moved half plus the pendant edge attach strictly
+    // inside the same common-subtree edge — same slot, preimage grows by
+    // two.
     const std::size_t m = problem_->constraints.size();
     for (std::size_t i = 0; i < m; ++i) {
       if (!computed_[i] || dirty_[i]) continue;
-      const std::uint64_t k = edge_key_[i][e];
-      edge_key_[i][rec.moved_edge] = k;
-      edge_key_[i][rec.leaf_edge] = k;
-      bucket_[i][k] += 2;
+      const std::uint32_t s = edge_slot_[i][e];
+      edge_slot_[i][rec.moved_edge] = s;
+      edge_slot_[i][rec.leaf_edge] = s;
+      slot_count_[i][s] += 2;
+      preimage_push(i, s, rec.moved_edge);
+      preimage_push(i, s, rec.leaf_edge);
     }
   }
   inserted_.set(x);
-  const auto it = std::lower_bound(remaining_.begin(), remaining_.end(), x);
-  GENTRIUS_DCHECK(it != remaining_.end() && *it == x);
-  remaining_.erase(it);
+  // Dancing-links unlink: x keeps its own neighbor pointers so the LIFO
+  // remove() can relink in O(1).
+  rem_next_[rem_prev_[x]] = rem_next_[x];
+  rem_prev_[rem_next_[x]] = rem_prev_[x];
+  --remaining_count_;
+  atrav_.root = kNoTaxon;  // agile topology changed
+  journal_push(e, +1);
   return rec;
 }
 
 void Terrace::remove(const InsertRecord& rec) {
   const TaxonId x = rec.taxon;
+  const std::uint64_t ev = mutation_count_;
+  const std::int32_t tok = static_cast<std::int32_t>(x) + 1;
   for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
     --common_count_[i];
     ++remaining_in_[i];
     dirty_[i] = 1;
+    dirty_mut_[i] = ev;
+    if (incremental_) {
+      auto& d = cdelta_[i];
+      if (!d.empty() && d.back() == tok)
+        d.pop_back();
+      else
+        d.push_back(-tok);
+    }
   }
   if (!incremental_) {
-    for (auto& d : dirty_) d = 1;
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+      dirty_[i] = 1;
+      dirty_mut_[i] = ev;
+    }
   } else {
     // Exact inverse of the incremental insert update.
     const std::size_t m = problem_->constraints.size();
     for (std::size_t i = 0; i < m; ++i) {
       if (!computed_[i] || dirty_[i]) continue;
-      bucket_[i][edge_key_[i][rec.split_edge]] -= 2;
+      const std::uint32_t s = edge_slot_[i][rec.split_edge];
+      preimage_unlink(i, s, rec.moved_edge);
+      preimage_unlink(i, s, rec.leaf_edge);
+      slot_count_[i][s] -= 2;
     }
   }
   agile_.remove_leaf(rec);
   inserted_.reset(x);
-  remaining_.insert(std::lower_bound(remaining_.begin(), remaining_.end(), x),
-                    x);
+  rem_next_[rem_prev_[x]] = x;
+  rem_prev_[rem_next_[x]] = x;
+  ++remaining_count_;
+  atrav_.root = kNoTaxon;
+  journal_push(rec.split_edge, -1);
 }
 
-void Terrace::map_tree(const phylo::Tree& tree, const support::Bitset& y,
-                       std::size_t i, bool agile_side) {
-  const std::size_t c0 = y.first_common(inserted_);
-  GENTRIUS_DCHECK(c0 < y.universe_size());
-  const VertexId root = tree.leaf_of(static_cast<TaxonId>(c0));
-  GENTRIUS_DCHECK(root != kNoId);
-
-  // Preorder traversal; parents precede children in order_.
-  order_.clear();
-  stack_.clear();
-  stack_.push_back(root);
-  parent_vertex_[root] = kNoId;
-  parent_edge_[root] = kNoId;
-  while (!stack_.empty()) {
-    const VertexId v = stack_.back();
-    stack_.pop_back();
-    order_.push_back(v);
-    cnt_[v] = 0;
-    xorv_[v] = 0;
-    const auto& vx = tree.vertex(v);
-    const TaxonId t = vx.taxon;
-    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
-      cnt_[v] = 1;
-      xorv_[v] = problem_->taxon_keys[t];
-    }
+void Terrace::build_traversal(const phylo::Tree& tree, TaxonId root,
+                              FlatTraversal& out) {
+  out.root = root;
+  out.parent_pos.clear();
+  out.edge.clear();
+  out.taxon.clear();
+  const VertexId rootv = tree.leaf_of(root);
+  GENTRIUS_DCHECK(rootv != kNoId);
+  trav_stack_.clear();
+  trav_stack_.push_back(TravItem{rootv, 0, kNoId});
+  while (!trav_stack_.empty()) {
+    const TravItem it = trav_stack_.back();
+    trav_stack_.pop_back();
+    const std::uint32_t pos =
+        static_cast<std::uint32_t>(out.parent_pos.size());
+    out.parent_pos.push_back(it.parent_pos);
+    out.edge.push_back(it.pedge);
+    const auto& vx = tree.vertex(it.v);
+    out.taxon.push_back(vx.taxon);
     for (std::uint8_t a = 0; a < vx.degree; ++a) {
-      const VertexId to = vx.adj[a].to;
-      if (to == parent_vertex_[v]) continue;
-      parent_vertex_[to] = v;
-      parent_edge_[to] = vx.adj[a].edge;
-      stack_.push_back(to);
+      if (vx.adj[a].edge == it.pedge) continue;  // back-edge to parent
+      trav_stack_.push_back(TravItem{vx.adj[a].to, pos, vx.adj[a].edge});
     }
   }
+}
 
-  // Post-order accumulation of C-counts and XOR hashes.
-  for (std::size_t k = order_.size(); k-- > 1;) {
-    const VertexId v = order_[k];
-    const VertexId u = parent_vertex_[v];
-    cnt_[u] += cnt_[v];
-    xorv_[u] ^= xorv_[v];
+void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
+  ensure_constraint_storage(i);
+  const auto& y = problem_->constraint_taxa[i];
+  const auto& keys = problem_->taxon_keys;
+
+  // ---- agile side: slot every agile edge -------------------------------
+  if (atrav_.root != root) build_traversal(agile_, root, atrav_);
+  const std::size_t n = atrav_.parent_pos.size();
+  // Zero-fill, then one reverse sweep folding in leaf keys and pushing the
+  // subtree aggregate to the parent (children precede their parent in
+  // reverse preorder, so a node is final when its own position is reached).
+  std::fill_n(cnt_.begin(), n, 0u);
+  std::fill_n(xorv_.begin(), n, std::uint64_t{0});
+  for (std::size_t k = n; k-- > 1;) {
+    const TaxonId t = atrav_.taxon[k];
+    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
+      cnt_[k] += 1;
+      xorv_[k] ^= keys[t];
+    }
+    const std::uint32_t p = atrav_.parent_pos[k];
+    cnt_[p] += cnt_[k];
+    xorv_[p] ^= xorv_[k];
   }
-  const std::uint64_t hc = xorv_[root];  // XOR over all of C
+  xorv_[0] ^= keys[root];  // the root leaf is a common taxon by construction
+  ++cnt_[0];
+  const std::uint64_t hc = xorv_[0];  // XOR over all of C
 
-  // Pre-order key assignment: Steiner edges get the canonical split hash of
-  // their below-side; off-Steiner edges inherit the key at their attachment
-  // point (the parent's context).
-  auto& keys = edge_key_[i];
-  auto& bucket = bucket_[i];
-  auto& targets = target_key_[i];
-  for (std::size_t k = 1; k < order_.size(); ++k) {
-    const VertexId v = order_[k];
+  slot_map_.clear();
+  std::uint32_t n_slots = 0;
+  auto& eslot = edge_slot_[i];
+  auto& scount = slot_count_[i];
+  auto& shead = slot_head_[i];
+  auto& lnext = link_next_[i];
+  auto& lprev = link_prev_[i];
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::uint32_t p = atrav_.parent_pos[k];
     std::uint64_t key;
-    if (cnt_[v] > 0) {
-      const std::uint64_t h = xorv_[v];
+    std::uint32_t s;
+    if (cnt_[k] > 0) {
+      // Canonical side-symmetric split hash of the below-side C-taxa.
+      const std::uint64_t h = xorv_[k];
+      const std::uint64_t hx = h ^ hc;
+      key = h < hx ? h : hx;
+      // cnt is monotone toward the root, so p is either the root or keyed;
+      // chains of edges inside one common-subtree edge reuse the parent's
+      // slot without touching the intern table.
+      if (p != 0 && key == ctx_[p]) {
+        s = ctx_slot_[p];
+      } else {
+        std::uint32_t& v = slot_map_[key];
+        if (v == 0) {
+          s = n_slots++;
+          scount[s] = 0;
+          shead[s] = kNoId;
+          v = s + 1;
+        } else {
+          s = v - 1;
+        }
+      }
+    } else {
+      // No common taxa below: the edge lies strictly inside the parent's
+      // common-subtree edge.
+      key = ctx_[p];
+      s = ctx_slot_[p];
+    }
+    ctx_[k] = key;
+    ctx_slot_[k] = s;
+    const EdgeId e = atrav_.edge[k];
+    eslot[e] = s;
+    ++scount[s];
+    lnext[e] = shead[s];
+    lprev[e] = kNoId;
+    if (shead[s] != kNoId) lprev[shead[s]] = e;
+    shead[s] = e;
+  }
+  n_slots_[i] = n_slots;
+
+  // ---- constraint side: slot the attachment edge of each open taxon ----
+  FlatTraversal& ct = ctrav_[i];
+  auto& tslot = target_slot_[i];
+  auto& tkey = target_key_[i];
+  if (incremental_ && have_target_keys_[i] != 0 && cdelta_[i].empty() &&
+      ct.root == root) {
+    // C_i and the DFS root match the last full constraint-side pass, so the
+    // attachment-edge keys of the open taxa are unchanged; only the
+    // agile-side interning is fresh. Re-probe the stored keys instead of
+    // sweeping T_i.
+    y.for_each([&](std::size_t t) {
+      if (!inserted_.test(t)) {
+        const std::uint32_t v = slot_map_.get(tkey[t], 0);
+        tslot[t] = v == 0 ? kNoSlot : v - 1;
+      }
+    });
+    return;
+  }
+  if (ct.root != root)
+    build_traversal(problem_->constraints[i], root, ct);
+  const std::size_t nc = ct.parent_pos.size();
+  std::fill_n(cnt_.begin(), nc, 0u);
+  std::fill_n(xorv_.begin(), nc, std::uint64_t{0});
+  for (std::size_t k = nc; k-- > 1;) {
+    const TaxonId t = ct.taxon[k];
+    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
+      cnt_[k] += 1;
+      xorv_[k] ^= keys[t];
+    }
+    const std::uint32_t p = ct.parent_pos[k];
+    cnt_[p] += cnt_[k];
+    xorv_[p] ^= xorv_[k];
+  }
+  xorv_[0] ^= keys[root];
+  ++cnt_[0];
+  GENTRIUS_DCHECK(xorv_[0] == hc);  // same C on both sides
+
+  for (std::size_t k = 1; k < nc; ++k) {
+    const std::uint32_t p = ct.parent_pos[k];
+    std::uint64_t key;
+    if (cnt_[k] > 0) {
+      const std::uint64_t h = xorv_[k];
       const std::uint64_t hx = h ^ hc;
       key = h < hx ? h : hx;
     } else {
-      key = ctx_[parent_vertex_[v]];
+      key = ctx_[p];
     }
-    ctx_[v] = key;
-    if (agile_side) {
-      const EdgeId e = parent_edge_[v];
-      GENTRIUS_DCHECK(e < keys.size());
-      keys[e] = key;
-      ++bucket[key];
-    } else {
-      const TaxonId t = tree.vertex(v).taxon;
-      if (t != kNoTaxon && !inserted_.test(t)) targets[t] = key;
+    ctx_[k] = key;
+    const TaxonId t = ct.taxon[k];
+    if (t != kNoTaxon && !inserted_.test(t)) {
+      tkey[t] = key;
+      const std::uint32_t v = slot_map_.get(key, 0);
+      tslot[t] = v == 0 ? kNoSlot : v - 1;
     }
   }
+  have_target_keys_[i] = 1;
+  cdelta_[i].clear();
 }
 
 void Terrace::ensure_mappings() {
   const std::size_t m = problem_->constraints.size();
+  rebuild_order_.clear();
   for (std::size_t i = 0; i < m; ++i) {
     if (!dirty_[i]) continue;
     dirty_[i] = 0;
@@ -188,11 +426,17 @@ void Terrace::ensure_mappings() {
       computed_[i] = 0;
       continue;
     }
-    bucket_[i].clear();
-    map_tree(agile_, problem_->constraint_taxa[i], i, /*agile_side=*/true);
-    map_tree(problem_->constraints[i], problem_->constraint_taxa[i], i,
-             /*agile_side=*/false);
+    const TaxonId root = static_cast<TaxonId>(
+        problem_->constraint_taxa[i].first_common(inserted_));
+    rebuild_order_.emplace_back(root, static_cast<std::uint32_t>(i));
+  }
+  if (rebuild_order_.empty()) return;
+  // Group same-root rebuilds so they share one agile structural pass.
+  std::stable_sort(rebuild_order_.begin(), rebuild_order_.end());
+  for (const auto& [root, i] : rebuild_order_) {
+    rebuild_constraint(i, root);
     computed_[i] = 1;
+    ++stats_.mappings_rebuilt;
   }
 }
 
@@ -202,21 +446,39 @@ void Terrace::gather_constraints(TaxonId x) {
     if (active_[i]) scratch_js_.push_back(i);
 }
 
-std::size_t Terrace::count_for(TaxonId x) {
+bool Terrace::edge_admissible(TaxonId x, EdgeId e) const {
+  for (const std::uint32_t i : scratch_js_)
+    if (edge_slot_[i][e] != target_slot_[i][x]) return false;
+  return true;
+}
+
+std::size_t Terrace::count_fresh(TaxonId x) {
   gather_constraints(x);
   if (scratch_js_.empty()) return agile_.edge_count();
   if (scratch_js_.size() == 1) {
     const std::uint32_t i = scratch_js_[0];
-    return bucket_[i].get(target_key_[i][x], 0);
+    const std::uint32_t ts = target_slot_[i][x];
+    return ts == kNoSlot ? 0 : slot_count_[i][ts];
   }
-  // Multiple constraints: exact intersection via one scan over agile edges.
+  // Multiple constraints: walk the smallest constraint's preimage list and
+  // probe the others.
+  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
+  for (const std::uint32_t i : scratch_js_) {
+    const std::uint32_t ts = target_slot_[i][x];
+    if (ts == kNoSlot || slot_count_[i][ts] == 0) return 0;
+    if (slot_count_[i][ts] < best_n) {
+      best_n = slot_count_[i][ts];
+      best_i = i;
+      best_s = ts;
+    }
+  }
   std::size_t count = 0;
-  const std::size_t cap = agile_.edge_capacity();
-  for (EdgeId e = 0; e < cap; ++e) {
-    if (!agile_.edge_alive(e)) continue;
+  const auto& next = link_next_[best_i];
+  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
     bool ok = true;
     for (const std::uint32_t i : scratch_js_) {
-      if (edge_key_[i][e] != target_key_[i][x]) {
+      if (i == best_i) continue;
+      if (edge_slot_[i][e] != target_slot_[i][x]) {
         ok = false;
         break;
       }
@@ -226,37 +488,141 @@ std::size_t Terrace::count_for(TaxonId x) {
   return count;
 }
 
+std::size_t Terrace::admissible_count(TaxonId x) {
+  bool valid = cache_valid_[x] != 0 && cache_mut_[x] >= journal_base_;
+  if (valid) {
+    for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
+      if (dirty_mut_[i] >= cache_mut_[x]) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (valid) {
+    // Replay the journal window: an insert splits an edge into three that
+    // agree on every constraint slot of x, so the admissible set gains (or
+    // on remove, loses) exactly two edges iff the split edge is admissible.
+    // Evaluating admissibility with the *current* slots is exact: paired
+    // insert/remove events cancel, and unpaired events reference edges that
+    // are alive right now with slots untouched since x's constraints were
+    // last rebuilt.
+    gather_constraints(x);
+    std::int64_t c = static_cast<std::int64_t>(cached_count_[x]);
+    const std::size_t mask = journal_.size() - 1;
+    for (std::uint64_t u = cache_mut_[x]; u < mutation_count_; ++u) {
+      const MutEvent& evt = journal_[u & mask];
+      if (edge_admissible(x, evt.edge)) c += 2 * evt.sign;
+    }
+    GENTRIUS_DCHECK(c >= 0);
+    GENTRIUS_DCHECK(static_cast<std::size_t>(c) == count_fresh(x));
+    cached_count_[x] = static_cast<std::uint32_t>(c);
+    cache_mut_[x] = mutation_count_;
+    ++stats_.cached_counts;
+    return static_cast<std::size_t>(c);
+  }
+  const std::size_t c = count_fresh(x);
+  cached_count_[x] = static_cast<std::uint32_t>(c);
+  cache_mut_[x] = mutation_count_;
+  cache_valid_[x] = 1;
+  ++stats_.fresh_counts;
+  return c;
+}
+
+bool Terrace::has_admissible(TaxonId x) {
+  gather_constraints(x);
+  if (scratch_js_.empty()) return agile_.edge_count() > 0;
+  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
+  for (const std::uint32_t i : scratch_js_) {
+    const std::uint32_t ts = target_slot_[i][x];
+    if (ts == kNoSlot || slot_count_[i][ts] == 0) return false;
+    if (slot_count_[i][ts] < best_n) {
+      best_n = slot_count_[i][ts];
+      best_i = i;
+      best_s = ts;
+    }
+  }
+  if (scratch_js_.size() == 1) return true;  // nonzero preimage suffices
+  const auto& next = link_next_[best_i];
+  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
+    bool ok = true;
+    for (const std::uint32_t i : scratch_js_) {
+      if (i == best_i) continue;
+      if (edge_slot_[i][e] != target_slot_[i][x]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
 void Terrace::collect_branches(TaxonId x, std::vector<EdgeId>& out) {
   out.clear();
   gather_constraints(x);
-  const std::size_t cap = agile_.edge_capacity();
-  for (EdgeId e = 0; e < cap; ++e) {
-    if (!agile_.edge_alive(e)) continue;
+  if (scratch_js_.empty()) {
+    // Unconstrained taxon: every live edge, ascending.
+    const std::size_t cap = agile_.edge_capacity();
+    for (EdgeId e = 0; e < cap; ++e)
+      if (agile_.edge_alive(e)) out.push_back(e);
+    return;
+  }
+  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
+  for (const std::uint32_t i : scratch_js_) {
+    const std::uint32_t ts = target_slot_[i][x];
+    if (ts == kNoSlot || slot_count_[i][ts] == 0) return;
+    if (slot_count_[i][ts] < best_n) {
+      best_n = slot_count_[i][ts];
+      best_i = i;
+      best_s = ts;
+    }
+  }
+  const auto& next = link_next_[best_i];
+  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
     bool ok = true;
     for (const std::uint32_t i : scratch_js_) {
-      if (edge_key_[i][e] != target_key_[i][x]) {
+      if (i == best_i) continue;
+      if (edge_slot_[i][e] != target_slot_[i][x]) {
         ok = false;
         break;
       }
     }
     if (ok) out.push_back(e);
   }
+  // Preimage lists are maintained in mutation order; the enumerator's branch
+  // order contract (and the seed engine) is ascending edge id.
+  std::sort(out.begin(), out.end());
 }
 
 Terrace::Choice Terrace::choose_dynamic(std::vector<EdgeId>& branches,
                                         Options::DynamicVariant variant) {
   branches.clear();
   Choice choice;
-  if (remaining_.empty()) {
+  if (remaining_count_ == 0) {
     choice.complete = true;
     return choice;
   }
   ensure_mappings();
 
+  const TaxonId sentinel = static_cast<TaxonId>(problem_->n_taxa);
   std::size_t best_count = static_cast<std::size_t>(-1);
   std::size_t best_degree = 0;
-  for (const TaxonId x : remaining_) {
-    const std::size_t c = count_for(x);  // fills scratch_js_ with x's constraints
+  // Once a count of 1 is locked in under kMinBranches no later taxon can win
+  // (ties break toward the lower id), but later zero counts must still be
+  // detected — and attributed to the first zero in ascending order, exactly
+  // as the full scan would — so the loop degrades to existence probes.
+  bool existence_only = false;
+  for (TaxonId x = rem_next_[sentinel]; x != sentinel; x = rem_next_[x]) {
+    if (existence_only) {
+      ++stats_.existence_checks;
+      if (!has_admissible(x)) {
+        choice.taxon = x;
+        choice.dead_end = true;
+        return choice;
+      }
+      continue;
+    }
+    const std::size_t c = admissible_count(x);  // gathers x's constraints
     if (c == 0) {
       choice.taxon = x;
       choice.dead_end = true;
@@ -273,6 +639,8 @@ Terrace::Choice Terrace::choose_dynamic(std::vector<EdgeId>& branches,
     if (better) {
       best_count = c;
       choice.taxon = x;
+      if (variant == Options::DynamicVariant::kMinBranches && c == 1)
+        existence_only = true;
     }
   }
   collect_branches(choice.taxon, branches);
@@ -284,7 +652,7 @@ Terrace::Choice Terrace::choose_static(TaxonId taxon,
                                        std::vector<EdgeId>& branches) {
   branches.clear();
   Choice choice;
-  if (remaining_.empty()) {
+  if (remaining_count_ == 0) {
     choice.complete = true;
     return choice;
   }

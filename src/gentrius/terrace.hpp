@@ -11,11 +11,37 @@
 // constraint tree T_i with common taxa C = inserted ∩ Y_i (|C| >= 2), every
 // edge of a binary tree maps onto exactly one edge of the common subtree
 // S = agile|C. We identify S-edges by a canonical 64-bit XOR hash of the
-// C-taxa on one side (side-symmetric via min(h, h ^ H_C)). One DFS over the
-// agile tree yields each edge's S-edge key plus per-key preimage counts; one
-// DFS over T_i yields, for every not-yet-inserted taxon x in Y_i, the key
-// ê_i(x) of the S-edge x attaches to. The admissible branches of x are the
-// agile edges whose key equals ê_i(x) for every constraining i.
+// C-taxa on one side (side-symmetric via min(h, h ^ H_C)), rooted at the
+// lowest-id common taxon; edges with no common taxa below inherit the key
+// at their attachment point. One DFS over the agile tree keys every agile
+// edge, one DFS over T_i keys the attachment edge ê_i(x) of every
+// not-yet-inserted taxon x in Y_i; x is admissible on an agile edge iff the
+// keys agree for every constraining i.
+//
+// Hot-path engineering (see docs/PERFORMANCE.md):
+//  * Keys are interned per rebuild into dense slot ids via a scratch
+//    KeyMap; all steady-state bookkeeping — per-slot preimage counts,
+//    intrusive preimage lists threaded through edge-indexed link arrays,
+//    admissibility probes — is slot-indexed array arithmetic, no hashing.
+//    Multi-constraint admissible sets walk the smallest constraint's
+//    preimage list and probe the others, never a full edge scan.
+//  * Mapping DFS passes run over flattened traversals (preorder position
+//    arrays). Constraint trees are static, so their traversal is cached per
+//    DFS root; the agile structural pass is shared by all constraints
+//    rebuilt at the same root in one ensure_mappings batch.
+//  * Per-taxon admissible counts are cached and maintained incrementally: a
+//    bounded journal records every insert/remove (the split edge and a
+//    sign), and a cached count is advanced by +/-2 per journaled event
+//    whose edge is admissible for the taxon — exact because an insertion
+//    splits one edge into three that agree on every clean constraint's
+//    key. Caches invalidate only when one of the taxon's own constraints
+//    went dirty.
+//  * Insertions and removals are strictly LIFO (the enumerator's DFS
+//    discipline); remove() must receive the record of the most recent
+//    insert(). The journal-delta proof and the dancing-links remaining-taxa
+//    list both rely on this.
+//  * Per-constraint mapping storage is allocated on first activation, so
+//    constraints that never reach |C| >= 2 with open taxa cost no memory.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +68,7 @@ class Terrace {
   /// removals (a taxon insertion recomputes only the constraints that
   /// contain the taxon; for every other computed constraint the two new
   /// edges provably map onto the same common-subtree edge as the split
-  /// edge, an O(1) bucket update). Off = recompute every active constraint
+  /// edge, an O(1) slot update). Off = recompute every active constraint
   /// at every state, the cost profile the paper's future-work section
   /// measures at 15-30 % of total runtime.
   explicit Terrace(const Problem& problem, bool incremental = true);
@@ -50,8 +76,10 @@ class Terrace {
   const phylo::Tree& agile() const noexcept { return agile_; }
   const Problem& problem() const noexcept { return *problem_; }
 
-  std::size_t remaining_count() const noexcept { return remaining_.size(); }
-  const std::vector<TaxonId>& remaining() const noexcept { return remaining_; }
+  std::size_t remaining_count() const noexcept { return remaining_count_; }
+  /// The not-yet-inserted taxa in ascending order (materialized from the
+  /// intrusive remaining list; intended for tests and diagnostics).
+  std::vector<TaxonId> remaining() const;
   bool is_inserted(TaxonId x) const { return inserted_.test(x); }
 
   /// Outcome of selecting the next taxon at the current state.
@@ -66,7 +94,10 @@ class Terrace {
   /// kMinBranches: fewest admissible branches (ties: lowest taxon id);
   /// kMostConstrained: most active constraint trees (ties: fewest branches).
   /// Fills `branches` with the winner's admissible branches. A zero count
-  /// anywhere is a dead end regardless of variant.
+  /// anywhere is a dead end regardless of variant; the *first* zero-count
+  /// taxon in ascending id order is reported, exactly as a full scan would.
+  /// Once a count of 1 is locked in under kMinBranches, later taxa are only
+  /// screened for dead ends (an existence probe), never fully counted.
   Choice choose_dynamic(
       std::vector<EdgeId>& branches,
       Options::DynamicVariant variant = Options::DynamicVariant::kMinBranches);
@@ -78,51 +109,159 @@ class Terrace {
   /// Inserts taxon x on agile edge e (must be admissible; unchecked here).
   InsertRecord insert(TaxonId x, EdgeId e);
 
-  /// Exact inverse of the matching insert.
+  /// Exact inverse of the matching insert. Insert/remove pairs must nest
+  /// LIFO (the record of the most recent live insert).
   void remove(const InsertRecord& rec);
 
   /// Checks the root invariant: agile|C_i == T_i|C_i for every constraint.
   /// Must hold before enumeration starts; when it fails the stand is empty.
   bool initial_state_consistent() const;
 
+  // ---- introspection (tests, benchmarks, virtual-time cost model) ---------
+
+  /// Cumulative counters of selection work; the virtual-time simulator uses
+  /// the deltas to charge cheap cached refreshes and expensive recomputes
+  /// differently (vthread::CostModel).
+  struct SelectionStats {
+    std::uint64_t fresh_counts = 0;     ///< full admissible-count recomputations
+    std::uint64_t cached_counts = 0;    ///< journal-replay cache refreshes
+    std::uint64_t existence_checks = 0; ///< zero/nonzero-only dead-end probes
+    std::uint64_t mappings_rebuilt = 0; ///< constraint mapping DFS rebuilds
+  };
+  const SelectionStats& selection_stats() const noexcept { return stats_; }
+
+  /// True once constraint i's mapping storage (edge slots, preimage lists,
+  /// target slots) has been allocated. Never-activated constraints stay
+  /// unallocated for the lifetime of the terrace.
+  bool constraint_storage_allocated(std::size_t i) const {
+    return !edge_slot_[i].empty();
+  }
+  /// Bytes currently allocated for per-constraint mapping storage.
+  std::size_t mapping_storage_bytes() const;
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Flattened DFS traversal: preorder positions with parents before
+  /// children; position 0 is the root leaf. Sweeping these arrays replaces
+  /// pointer-chasing the tree during mapping rebuilds.
+  struct FlatTraversal {
+    TaxonId root = kNoTaxon;  ///< root leaf's taxon; kNoTaxon = not built
+    std::vector<std::uint32_t> parent_pos;  ///< per position, parent's position
+    std::vector<EdgeId> edge;               ///< per position, edge to parent
+    std::vector<TaxonId> taxon;             ///< per position, leaf taxon or kNoTaxon
+  };
+
   void ensure_mappings();
-  /// DFS pass described above. agile_side: record per-edge keys + bucket
-  /// counts for constraint slot i; otherwise record target keys for the
-  /// remaining taxa of constraint i.
-  void map_tree(const phylo::Tree& tree, const support::Bitset& y,
-                std::size_t i, bool agile_side);
-  /// Exact number of admissible branches for x (mappings must be current).
-  std::size_t count_for(TaxonId x);
+  void ensure_constraint_storage(std::size_t i);
+  void rebuild_constraint(std::size_t i, TaxonId root);
+  /// (Re)builds `out` as the flat traversal of `tree` rooted at the leaf of
+  /// taxon `root`.
+  void build_traversal(const phylo::Tree& tree, TaxonId root,
+                       FlatTraversal& out);
+  /// Exact number of admissible branches for x (mappings must be current),
+  /// via the cache when its validity window holds, else recomputed.
+  std::size_t admissible_count(TaxonId x);
+  std::size_t count_fresh(TaxonId x);
+  /// Whether x has at least one admissible branch (early-exit probe).
+  bool has_admissible(TaxonId x);
+  /// Every active constraint of x agrees on edge e.
+  bool edge_admissible(TaxonId x, EdgeId e) const;
   void collect_branches(TaxonId x, std::vector<EdgeId>& out);
   /// Active constraint slots of x: |C_i| >= 2. Fills scratch_js_.
   void gather_constraints(TaxonId x);
 
+  // Intrusive preimage-list maintenance for constraint i, slot s.
+  void preimage_push(std::size_t i, std::uint32_t s, EdgeId e);
+  void preimage_unlink(std::size_t i, std::uint32_t s, EdgeId e);
+
+  // Mutation journal (insert/remove events) for the count cache.
+  void journal_push(EdgeId split_edge, std::int8_t sign);
+
   const Problem* problem_;
   phylo::Tree agile_;
   support::Bitset inserted_;
-  std::vector<TaxonId> remaining_;  // ascending
+
+  // Remaining taxa as a dancing-links list in ascending id order: O(1)
+  // unlink on insert, O(1) relink on the LIFO remove (the unlinked node
+  // keeps its own neighbor pointers). Slot n_taxa is the sentinel.
+  std::vector<TaxonId> rem_next_, rem_prev_;
+  std::size_t remaining_count_ = 0;
 
   // Per-constraint incremental bookkeeping.
   std::vector<std::uint32_t> common_count_;     // |inserted ∩ Y_i|
   std::vector<std::uint32_t> remaining_in_;     // |Y_i \ inserted|
   std::vector<char> active_;                    // usable mapping this state
 
-  // Mapping state. computed_[i]: edge_key_/bucket_/target_key_ hold a valid
-  // mapping for constraint i; dirty_[i]: constraint must be recomputed at
-  // the next ensure_mappings (its common taxon set changed).
+  // Mapping state. computed_[i]: the slot arrays hold a valid mapping for
+  // constraint i; dirty_[i]: constraint must be recomputed at the next
+  // ensure_mappings (its common taxon set changed).
   bool incremental_ = true;
   std::vector<char> computed_;
   std::vector<char> dirty_;
-  std::vector<std::vector<std::uint64_t>> edge_key_;    // [i][edge]
-  std::vector<support::KeyMap> bucket_;                 // [i]: key -> preimage size
-  std::vector<std::vector<std::uint64_t>> target_key_;  // [i][taxon]
+  std::size_t max_edges_ = 0;  // agile edge-capacity bound, fixed at build
 
-  // DFS scratch, sized to the largest tree involved.
-  std::vector<VertexId> order_, stack_, parent_vertex_;
-  std::vector<EdgeId> parent_edge_;
+  // Slot-interned mapping storage, per constraint, allocated lazily.
+  // edge_slot_[i][e] / target_slot_[i][x] identify the common-subtree edge
+  // an agile edge / a remaining taxon maps onto (kNoSlot: none on the agile
+  // side). slot_count_[i][s] is the preimage size; slot_head_ plus the
+  // link_ arrays thread the preimage list through edge ids.
+  std::vector<std::vector<std::uint32_t>> edge_slot_;
+  std::vector<std::vector<std::uint32_t>> target_slot_;
+  std::vector<std::vector<std::uint32_t>> slot_count_;
+  std::vector<std::vector<EdgeId>> slot_head_;
+  std::vector<std::vector<EdgeId>> link_next_;
+  std::vector<std::vector<EdgeId>> link_prev_;
+  std::vector<std::uint32_t> n_slots_;  // live slots after latest rebuild
+  support::KeyMap slot_map_{64};        // scratch key -> slot+1, per rebuild
+
+  // Constraint-side pass elision. target_key_[i][x] is the canonical key of
+  // the attachment edge of open taxon x in T_i, valid for the DFS root and
+  // common set C_i of constraint i's last full constraint-side pass;
+  // cdelta_[i] is an exact ledger of net C_i changes since then (LIFO
+  // insert/remove discipline makes push/cancel exact). When the ledger is
+  // empty and the root is unchanged, a rebuild reuses the stored keys and
+  // only re-probes them against the fresh agile-side interning — the
+  // dominant case when the enumerator steps a taxon to its next branch.
+  std::vector<std::vector<std::uint64_t>> target_key_;
+  std::vector<char> have_target_keys_;
+  std::vector<std::vector<std::int32_t>> cdelta_;  // +(x+1) insert, -(x+1) remove
+
+  // Flat traversals: constraint-side cached per constraint (static trees,
+  // invalidated only when the DFS root changes); agile-side rebuilt on
+  // demand and shared across same-root rebuilds in one batch.
+  std::vector<FlatTraversal> ctrav_;
+  FlatTraversal atrav_;
+  std::vector<std::pair<TaxonId, std::uint32_t>> rebuild_order_;  // scratch
+  struct TravItem {
+    VertexId v = kNoId;
+    std::uint32_t parent_pos = 0;
+    EdgeId pedge = kNoId;
+  };
+  std::vector<TravItem> trav_stack_;  // build_traversal scratch
+
+  // Incremental candidate-count cache. cached_count_[x] is exact as of
+  // mutation index cache_mut_[x]; it can be advanced to the present by
+  // replaying the journal window iff no constraint of x was dirtied at or
+  // after cache_mut_[x] (dirty_mut_) and the window is still in the ring.
+  std::vector<std::uint32_t> cached_count_;
+  std::vector<std::uint64_t> cache_mut_;
+  std::vector<char> cache_valid_;
+  std::vector<std::uint64_t> dirty_mut_;   // [constraint]
+  struct MutEvent {
+    EdgeId edge = kNoId;   ///< split edge of the insert / matching remove
+    std::int8_t sign = 0;  ///< +1 insert, -1 remove
+  };
+  std::vector<MutEvent> journal_;  // ring, power-of-two size
+  std::uint64_t mutation_count_ = 1;
+  std::uint64_t journal_base_ = 1;  // oldest retained event index
+
+  SelectionStats stats_;
+
+  // Mapping-sweep scratch, indexed by traversal position.
   std::vector<std::uint32_t> cnt_;
   std::vector<std::uint64_t> xorv_, ctx_;
+  std::vector<std::uint32_t> ctx_slot_;
   std::vector<std::uint32_t> scratch_js_;
 };
 

@@ -95,10 +95,12 @@ void worker_body(std::size_t tid, std::size_t n_threads,
   }
 
   if (queue != nullptr) {
+    // Pooled steal target: pop() swaps the queue slot with this task, so
+    // repeated steals recycle the same vector storage.
+    core::Task task;
     while (!stopped) {
-      auto task = queue->pop(sink);
-      if (!task) break;
-      e.adopt_task(*task);
+      if (!queue->pop(sink, task)) break;
+      e.adopt_task(task);
       ++out.tasks_executed;
       stopped = drain(e);
       if (!stopped) e.rewind_to_split();

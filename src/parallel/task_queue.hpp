@@ -5,6 +5,13 @@
 // paper's rule: N_t + 1 tasks for N_t < 8 threads, N_t / 2 otherwise —
 // enough to keep the pool fed without flooding it with tiny subproblems.
 //
+// Storage is a fixed ring of `capacity` Task slots allocated at
+// construction. A push copies the producer's pooled task into the tail
+// slot (vector assignment, reusing whatever capacity the slot accumulated);
+// a pop swaps the head slot with the consumer's pooled task. After warm-up
+// every hand-off is allocation-free on both sides, and no node allocation
+// ever happens inside the critical section.
+//
 // Termination detection: the queue tracks how many workers are busy. The
 // last worker to go idle with an empty queue declares the run finished and
 // wakes everyone. A stopping rule (CounterSink) also releases all waiters.
@@ -14,8 +21,8 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <optional>
+#include <utility>
+#include <vector>
 
 #include "gentrius/counters.hpp"
 #include "gentrius/enumerator.hpp"
@@ -34,43 +41,54 @@ class TaskQueue final : public core::TaskSink {
  public:
   /// All `workers` participants start in the busy state.
   TaskQueue(std::size_t capacity, std::size_t workers)
-      : capacity_(capacity), busy_(workers) {}
+      : capacity_(capacity), slots_(capacity), busy_(workers) {}
 
   /// Producer side (called from inside Enumerator::step). Non-blocking:
   /// a full queue rejects the task and the producer keeps the branches;
   /// a terminated queue (done_) rejects every task.
-  bool try_push(core::Task&& task) override GENTRIUS_EXCLUDES(mutex_) {
+  bool try_push(const core::Task& task) override GENTRIUS_EXCLUDES(mutex_) {
     {
       support::MutexLock lock(mutex_);
-      GENTRIUS_DCHECK_LE(tasks_.size(), capacity_);
-      if (done_ || tasks_.size() >= capacity_) return false;
-      tasks_.push_back(std::move(task));
+      GENTRIUS_DCHECK_LE(size_, capacity_);
+      if (done_ || size_ >= capacity_) return false;
+      core::Task& slot = slots_[(head_ + size_) % capacity_];
+      slot.path = task.path;
+      slot.next_taxon = task.next_taxon;
+      slot.branches = task.branches;
+      ++size_;
     }
     cv_.notify_one();
     return true;
   }
 
   /// Consumer side: transitions the caller from busy to idle, blocks until
-  /// work arrives, and hands out a task (caller becomes busy again).
-  /// Returns nullopt when the pool terminated — all workers idle with an
-  /// empty queue — or a stopping rule fired.
-  std::optional<core::Task> pop(const core::CounterSink& sink)
+  /// work arrives, and swaps the oldest task into `out` (caller becomes
+  /// busy again). Returns false when the pool terminated — all workers idle
+  /// with an empty queue — or a stopping rule fired; `out` is untouched
+  /// then.
+  bool pop(const core::CounterSink& sink, core::Task& out)
       GENTRIUS_EXCLUDES(mutex_) {
-    std::optional<core::Task> out;
+    bool got = false;
     bool i_terminated = false;
     {
       support::MutexLock lock(mutex_);
       GENTRIUS_DCHECK_GT(busy_, 0u);
-      if (--busy_ == 0 && tasks_.empty()) {
+      if (--busy_ == 0 && size_ == 0) {
         done_ = true;
         i_terminated = true;
       } else {
         for (;;) {
           if (done_ || sink.stop_requested()) break;
-          if (!tasks_.empty()) {
-            out = std::move(tasks_.front());
-            tasks_.pop_front();
+          if (size_ > 0) {
+            // Swap instead of move: the consumer's old vectors end up in
+            // the slot and get reused by a later push.
+            std::swap(out.path, slots_[head_].path);
+            out.next_taxon = slots_[head_].next_taxon;
+            std::swap(out.branches, slots_[head_].branches);
+            head_ = (head_ + 1) % capacity_;
+            --size_;
             ++busy_;
+            got = true;
             break;
           }
           cv_.wait(mutex_);
@@ -78,7 +96,7 @@ class TaskQueue final : public core::TaskSink {
       }
     }
     if (i_terminated) cv_.notify_all();
-    return out;
+    return got;
   }
 
   /// Wakes all waiters (after a stopping rule fired).
@@ -93,14 +111,16 @@ class TaskQueue final : public core::TaskSink {
   /// Diagnostics (tests): current queue occupancy.
   std::size_t size() const GENTRIUS_EXCLUDES(mutex_) {
     support::MutexLock lock(mutex_);
-    return tasks_.size();
+    return size_;
   }
 
  private:
   const std::size_t capacity_;
   mutable support::Mutex mutex_;
   support::CondVar cv_;
-  std::deque<core::Task> tasks_ GENTRIUS_GUARDED_BY(mutex_);
+  std::vector<core::Task> slots_ GENTRIUS_GUARDED_BY(mutex_);  // fixed ring
+  std::size_t head_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::size_t size_ GENTRIUS_GUARDED_BY(mutex_) = 0;
   std::size_t busy_ GENTRIUS_GUARDED_BY(mutex_);
   bool done_ GENTRIUS_GUARDED_BY(mutex_) = false;
 };

@@ -1,9 +1,15 @@
-// Open-addressing scratch map from 64-bit keys to small payloads.
+// Open-addressing scratch maps from 64-bit keys to small payloads.
 //
 // The Gentrius inner loop buckets agile-tree edges by their common-subtree
-// edge key once per (state, constraint tree) pair. The map is reused across
-// millions of states, so clearing must be O(1): an epoch counter marks slots
-// stale instead of zeroing the table.
+// edge key once per (state, constraint tree) pair. The maps are reused
+// across millions of states, so clearing must be O(1): an epoch counter
+// marks slots stale instead of zeroing the table.
+//
+// The Terrace uses one instance as a scratch key -> dense-slot-id map while
+// rebuilding a constraint mapping: every distinct common-subtree edge key is
+// interned to a small integer once, and all hot-path bookkeeping (preimage
+// counts, intrusive preimage lists, admissibility probes) then runs on
+// plain slot-indexed arrays instead of 64-bit hash lookups.
 #pragma once
 
 #include <cstdint>

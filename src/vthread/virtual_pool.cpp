@@ -1,9 +1,9 @@
 #include "vthread/virtual_pool.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "gentrius/counters.hpp"
@@ -33,11 +33,14 @@ namespace {
 /// the queue is only ever touched from inside the scheduler's RoleGuard
 /// scope — the mechanical form of the determinism guarantee the header
 /// documents. The push cost is charged to whichever worker's clock is
-/// installed as the producer.
+/// installed as the producer. Like the real TaskQueue, storage is a fixed
+/// ring of Task slots: pushes copy into a slot, pops swap the slot with the
+/// scheduler's pooled steal target, so the simulated hand-off is
+/// allocation-free in the steady state too.
 class VirtualQueue final : public core::TaskSink {
  public:
   VirtualQueue(std::size_t capacity, double queue_cost)
-      : capacity_(capacity), queue_cost_(queue_cost) {}
+      : capacity_(capacity), queue_cost_(queue_cost), slots_(capacity) {}
 
   /// The scheduler capability; the event loop holds it for the whole run.
   support::SequentialRole& role() GENTRIUS_RETURN_CAPABILITY(role_) {
@@ -50,38 +53,47 @@ class VirtualQueue final : public core::TaskSink {
 
   // Called through core::TaskSink from inside Enumerator::step, which only
   // runs while the event loop (holding the role) steps the worker.
-  bool try_push(Task&& task) override GENTRIUS_REQUIRES(role_) {
-    GENTRIUS_DCHECK_LE(entries_.size(), capacity_);
-    if (entries_.size() >= capacity_) return false;
+  bool try_push(const Task& task) override GENTRIUS_REQUIRES(role_) {
+    GENTRIUS_DCHECK_LE(size_, capacity_);
+    if (size_ >= capacity_) return false;
     GENTRIUS_DCHECK(producer_clock_ != nullptr);
     *producer_clock_ += queue_cost_;
-    entries_.push_back({std::move(task), *producer_clock_});
+    Entry& slot = slots_[(head_ + size_) % capacity_];
+    slot.task.path = task.path;
+    slot.task.next_taxon = task.next_taxon;
+    slot.task.branches = task.branches;
+    slot.available_at = *producer_clock_;
+    ++size_;
     return true;
   }
 
-  bool empty() const GENTRIUS_REQUIRES(role_) { return entries_.empty(); }
+  bool empty() const GENTRIUS_REQUIRES(role_) { return size_ == 0; }
 
   double front_available_at() const GENTRIUS_REQUIRES(role_) {
-    GENTRIUS_DCHECK(!entries_.empty());
-    return entries_.front().available_at;
+    GENTRIUS_DCHECK(size_ > 0);
+    return slots_[head_].available_at;
   }
 
-  Task pop_front() GENTRIUS_REQUIRES(role_) {
-    GENTRIUS_DCHECK(!entries_.empty());
-    Task t = std::move(entries_.front().task);
-    entries_.pop_front();
-    return t;
+  void pop_front(Task& out) GENTRIUS_REQUIRES(role_) {
+    GENTRIUS_DCHECK(size_ > 0);
+    std::swap(out.path, slots_[head_].task.path);
+    out.next_taxon = slots_[head_].task.next_taxon;
+    std::swap(out.branches, slots_[head_].task.branches);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
   }
 
  private:
   struct Entry {
     Task task;
-    double available_at;
+    double available_at = 0.0;
   };
   const std::size_t capacity_;
   const double queue_cost_;
   support::SequentialRole role_;
-  std::deque<Entry> entries_ GENTRIUS_GUARDED_BY(role_);
+  std::vector<Entry> slots_ GENTRIUS_GUARDED_BY(role_);  // fixed ring
+  std::size_t head_ GENTRIUS_GUARDED_BY(role_) = 0;
+  std::size_t size_ GENTRIUS_GUARDED_BY(role_) = 0;
   double* producer_clock_ GENTRIUS_GUARDED_BY(role_) = nullptr;
 };
 
@@ -91,6 +103,7 @@ struct VWorker {
   enum class State { kRunning, kIdle, kDone } state = State::kIdle;
   std::uint64_t last_flushes = 0;
   std::uint64_t tasks_executed = 0;
+  core::Terrace::SelectionStats last_stats;  // for per-step cost deltas
 };
 
 Result run_simulation(const Problem& problem, const Options& user_options,
@@ -131,6 +144,9 @@ Result run_simulation(const Problem& problem, const Options& user_options,
     w.clock = serial ? 0.0 : costs.spawn_cost;
     const auto& prefix = w.enumerator->run_prefix(/*count=*/tid == 0);
     w.clock += static_cast<double>(prefix.length) * costs.state_cost;
+    // Selection work done during the prefix is covered by its state_cost
+    // charge; the per-step surcharges start from this snapshot.
+    w.last_stats = w.enumerator->terrace().selection_stats();
     if (tid == 0) {
       result.prefix_length = prefix.length;
       if (prefix.outcome == Enumerator::Prefix::Outcome::kSplit)
@@ -157,6 +173,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
 
   // --- event loop: always advance the earliest actionable worker ----------
   const double inf = std::numeric_limits<double>::infinity();
+  Task steal_scratch;  // pooled steal target, swapped with queue slots
   for (;;) {
     // Earliest running worker.
     std::size_t run_idx = n_threads;
@@ -185,10 +202,10 @@ Result run_simulation(const Problem& problem, const Options& user_options,
     if (steal_time < run_time) {
       // An idle worker dequeues the oldest task and replays its path.
       VWorker& w = workers[idle_idx];
-      const Task task = queue.pop_front();
+      queue.pop_front(steal_scratch);
       GENTRIUS_DCHECK_GE(steal_time, w.clock);  // virtual time never rewinds
       w.clock = steal_time + costs.queue_cost;
-      const std::size_t replayed = w.enumerator->adopt_task(task);
+      const std::size_t replayed = w.enumerator->adopt_task(steal_scratch);
       w.clock += static_cast<double>(replayed) * costs.replay_cost;
       ++w.tasks_executed;
       w.state = VWorker::State::kRunning;
@@ -206,6 +223,22 @@ Result run_simulation(const Problem& problem, const Options& user_options,
     w.clock += costs.state_cost +
                static_cast<double>(flushes - w.last_flushes) * flush_unit;
     w.last_flushes = flushes;
+    // Selection-work surcharges (defaults are all zero).
+    {
+      const auto& sel = w.enumerator->terrace().selection_stats();
+      w.clock +=
+          static_cast<double>(sel.fresh_counts - w.last_stats.fresh_counts) *
+              costs.fresh_count_cost +
+          static_cast<double>(sel.cached_counts - w.last_stats.cached_counts) *
+              costs.cached_count_cost +
+          static_cast<double>(sel.existence_checks -
+                              w.last_stats.existence_checks) *
+              costs.existence_check_cost +
+          static_cast<double>(sel.mappings_rebuilt -
+                              w.last_stats.mappings_rebuilt) *
+              costs.mapping_rebuild_cost;
+      w.last_stats = sel;
+    }
 
     switch (step) {
       case Enumerator::Step::kWorked:

@@ -41,6 +41,17 @@ struct CostModel {
   /// expansion (paper §III-B cites [18]: up to a few thousand cycles).
   double flush_cost = 0.02;
   double flush_contention = 0.0015;  ///< extra cost per extra thread
+
+  // Selection-work surcharges, charged from Terrace::SelectionStats deltas
+  // on top of the flat state_cost. The defaults are zero — state_cost
+  // already represents an average state — but sensitivity studies can make
+  // the simulated clock follow the engine's actual cost profile, where a
+  // journal-replay cache refresh is far cheaper than a full recount and
+  // mapping rebuilds dominate (docs/PERFORMANCE.md).
+  double fresh_count_cost = 0.0;      ///< per full admissible-count recount
+  double cached_count_cost = 0.0;     ///< per journal-replay cache refresh
+  double existence_check_cost = 0.0;  ///< per zero/nonzero dead-end probe
+  double mapping_rebuild_cost = 0.0;  ///< per constraint-mapping rebuild
 };
 
 struct VirtualRules {

@@ -15,9 +15,9 @@ namespace {
 class RecordingSink final : public TaskSink {
  public:
   explicit RecordingSink(std::size_t cap) : cap_(cap) {}
-  bool try_push(Task&& task) override {
+  bool try_push(const Task& task) override {
     if (tasks.size() >= cap_) return false;
-    tasks.push_back(std::move(task));
+    tasks.push_back(task);
     return true;
   }
   std::vector<Task> tasks;

@@ -8,6 +8,7 @@
 
 #include "datagen/dataset.hpp"
 #include "gentrius/terrace.hpp"
+#include "phylo/newick.hpp"
 #include "phylo/topology.hpp"
 #include "support/rng.hpp"
 
@@ -113,6 +114,43 @@ TEST(Terrace, DynamicChoiceIsTheMinimum) {
     terrace.choose_static(choice.taxon, branches);
     terrace.insert(choice.taxon, branches[0]);
   }
+}
+
+TEST(Terrace, NeverActivatedConstraintStaysUnallocated) {
+  // Constraint 1's taxa all sit inside the initial tree (constraint 0), so
+  // it never has an open taxon, never activates, and its mapping storage
+  // must never be allocated — the peak-memory half of the lazy-allocation
+  // contract. Constraint 2 carries the free taxa w and v and therefore must
+  // allocate.
+  phylo::TaxonSet taxa;
+  std::vector<phylo::Tree> cs;
+  cs.push_back(phylo::parse_newick("((a,b),c,(d,e));", taxa));
+  cs.push_back(phylo::parse_newick("(a,c,d);", taxa));
+  cs.push_back(phylo::parse_newick("((a,w),b,(c,v));", taxa));
+  Options opts;
+  opts.initial_constraint = 0;
+  const auto problem = build_problem(cs, opts);
+  Terrace terrace(problem);
+  EXPECT_FALSE(terrace.constraint_storage_allocated(1));
+
+  std::vector<EdgeId> branches;
+  std::vector<InsertRecord> path;
+  while (terrace.remaining_count() > 0) {
+    const auto choice = terrace.choose_dynamic(branches);
+    if (choice.complete || choice.dead_end) break;
+    path.push_back(terrace.insert(choice.taxon, branches[0]));
+  }
+  EXPECT_TRUE(path.size() >= 1);
+  EXPECT_FALSE(terrace.constraint_storage_allocated(0));
+  EXPECT_FALSE(terrace.constraint_storage_allocated(1));
+  EXPECT_TRUE(terrace.constraint_storage_allocated(2));
+  EXPECT_GT(terrace.mapping_storage_bytes(), 0u);
+
+  // Rewinding to the initial state keeps the pooled storage (capacities are
+  // reused, not freed) and still never touches the inactive constraints.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) terrace.remove(*it);
+  EXPECT_FALSE(terrace.constraint_storage_allocated(1));
+  EXPECT_TRUE(terrace.constraint_storage_allocated(2));
 }
 
 }  // namespace

@@ -49,7 +49,8 @@ TEST(RaceStress, PushStormVersusBroadcastStop) {
     std::vector<std::thread> threads;
     for (std::size_t c = 0; c < kConsumers; ++c) {
       threads.emplace_back([&] {
-        while (auto task = queue.pop(sink)) {
+        core::Task task;
+        while (queue.pop(sink, task)) {
           consumed.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -104,11 +105,13 @@ TEST(RaceStress, LastWorkerTerminationRacesLatePush) {
         accepted.fetch_add(1, std::memory_order_relaxed);
     });
     std::thread worker_a([&] {
-      while (auto task = queue.pop(sink))
+      core::Task task;
+      while (queue.pop(sink, task))
         consumed.fetch_add(1, std::memory_order_relaxed);
     });
     std::thread worker_b([&] {
-      while (auto task = queue.pop(sink))
+      core::Task task;
+      while (queue.pop(sink, task))
         consumed.fetch_add(1, std::memory_order_relaxed);
     });
 
@@ -147,9 +150,10 @@ TEST(RaceStress, SelfDrainingPoolWithReoffers) {
           if (queue.try_push(make_task(static_cast<int>(w) * 1000 + i + 2)))
             accepted.fetch_add(1, std::memory_order_relaxed);
         }
-        while (auto task = queue.pop(sink)) {
+        core::Task task;
+        while (queue.pop(sink, task)) {
           consumed.fetch_add(1, std::memory_order_relaxed);
-          if (task->next_taxon % 5 == 0 && queue.try_push(make_task(1)))
+          if (task.next_taxon % 5 == 0 && queue.try_push(make_task(1)))
             accepted.fetch_add(1, std::memory_order_relaxed);
         }
       });

@@ -34,7 +34,8 @@ TEST(TaskQueue, RejectsWhenFull) {
 TEST(TaskQueue, SingleWorkerTerminatesImmediately) {
   core::CounterSink sink({});
   TaskQueue q(2, 1);
-  EXPECT_FALSE(q.pop(sink).has_value());
+  core::Task out;
+  EXPECT_FALSE(q.pop(sink, out));
 }
 
 TEST(TaskQueue, HandsTasksFifoAndTerminates) {
@@ -46,14 +47,12 @@ TEST(TaskQueue, HandsTasksFifoAndTerminates) {
   std::vector<int> taken;
   std::thread b([&] {
     // B: no tasks for it after A drains; must exit via termination.
-    auto t = q.pop(sink);
-    if (t) {
-      taken.push_back(static_cast<int>(t->next_taxon));
-      while ((t = q.pop(sink))) taken.push_back(static_cast<int>(t->next_taxon));
-    }
+    core::Task t;
+    while (q.pop(sink, t)) taken.push_back(static_cast<int>(t.next_taxon));
   });
   std::thread a([&] {
-    while (auto t = q.pop(sink)) {
+    core::Task t;
+    while (q.pop(sink, t)) {
       // tasks observed in FIFO order overall
     }
   });
@@ -67,8 +66,8 @@ TEST(TaskQueue, StopReleasesWaiters) {
   TaskQueue q(4, 2);
   std::atomic<bool> released{false};
   std::thread waiter([&] {
-    const auto t = q.pop(sink);  // blocks: 1 busy worker remains
-    EXPECT_FALSE(t.has_value());
+    core::Task t;
+    EXPECT_FALSE(q.pop(sink, t));  // blocks: 1 busy worker remains
     released = true;
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -89,8 +88,9 @@ TEST(TaskQueue, PopReturnsNulloptAfterStopWithTasksStillEnqueued) {
   ASSERT_EQ(q.size(), 2u);
   sink.request_stop(core::StopReason::kStateLimit);
   q.broadcast_stop();
-  EXPECT_FALSE(q.pop(sink).has_value());
-  EXPECT_FALSE(q.pop(sink).has_value());
+  core::Task out;
+  EXPECT_FALSE(q.pop(sink, out));
+  EXPECT_FALSE(q.pop(sink, out));
   EXPECT_EQ(q.size(), 2u);  // tasks abandoned, not delivered
 }
 
@@ -101,7 +101,8 @@ TEST(TaskQueue, PopHonoursSinkStopEvenWithoutBroadcast) {
   TaskQueue q(4, /*workers=*/2);
   ASSERT_TRUE(q.try_push(make_task(7)));
   sink.request_stop(core::StopReason::kTreeLimit);
-  EXPECT_FALSE(q.pop(sink).has_value());
+  core::Task out;
+  EXPECT_FALSE(q.pop(sink, out));
 }
 
 TEST(TaskQueue, TryPushRejectedAfterTermination) {
@@ -119,7 +120,8 @@ TEST(TaskQueue, TryPushRejectedAfterLastWorkerTerminates) {
   // empty) rather than by broadcast_stop.
   core::CounterSink sink({});
   TaskQueue q(4, /*workers=*/1);
-  EXPECT_FALSE(q.pop(sink).has_value());  // sole worker goes idle: done
+  core::Task out;
+  EXPECT_FALSE(q.pop(sink, out));  // sole worker goes idle: done
   EXPECT_FALSE(q.try_push(make_task(1)));
 }
 
@@ -138,11 +140,12 @@ TEST(TaskQueue, ManyThreadsStress) {
       for (int i = 0; i < 50; ++i) {
         if (q.try_push(make_task(static_cast<int>(w * 100 + i)))) ++produced;
       }
-      while (auto t = q.pop(sink)) {
+      core::Task t;
+      while (q.pop(sink, t)) {
         ++consumed;
         // Simulate a bit of work and possibly re-push (a tag that does not
         // itself trigger another re-push, or the pool never drains).
-        if (t->next_taxon % 5 == 0 && q.try_push(make_task(1001))) ++produced;
+        if (t.next_taxon % 5 == 0 && q.try_push(make_task(1001))) ++produced;
       }
     });
   }

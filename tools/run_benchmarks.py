@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Benchmark regression harness: runs the engine micro-benchmarks and emits
+a machine-readable BENCH_4.json so the perf trajectory is comparable across
+PRs.
+
+What it runs (from a Release build tree):
+  * bench/bench_micro_engine   (google-benchmark, JSON output) — serial
+    states/s on the default and multi-constraint corpus configurations,
+    task-replay throughput, full-state-expansion latency.
+  * bench/bench_mapping_update (plain text) — the share of runtime the
+    incremental mapping scheme avoids vs full per-state recomputation.
+
+Output schema (BENCH_4.json):
+  {
+    "schema": "gentrius-bench-4",
+    "baseline": {...},            # pinned pre-PR-4 reference numbers
+    "micro_engine": {name: {"real_time_ns", "items_per_second",
+                            "states_per_sec"}},
+    "mapping_update": {"mean_share_percent": float | null},
+    "derived": {"multi_constraint_states_per_sec", "per_state_ns",
+                "speedup_vs_baseline"}
+  }
+
+Typical use:
+  python3 tools/run_benchmarks.py --build-dir build-bench
+  python3 tools/run_benchmarks.py --min-time 0.1 --mapping-scale 0.2 \
+      --check-against bench/BENCH_4.baseline.json   # CI smoke mode
+
+--check-against compares the fresh multi-constraint states/s against the
+checked-in baseline and exits non-zero on a >2x regression (the CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+# Serial states/s of the seed engine (commit 206d898, pre-PR 4) on the
+# multi-constraint configuration (56 taxa, 12 loci, 55 % missing, seed
+# 7014, max_states 300k), measured with the same probe protocol as
+# BM_SerialStateThroughputMultiConstraint. The acceptance bar for PR 4 is
+# >= 1.5x this number.
+PRE_PR4_MULTI_CONSTRAINT_STATES_PER_SEC = 577_312.0
+
+MULTI_BENCH = "BM_SerialStateThroughputMultiConstraint"
+
+
+def run_micro_engine(build_dir: pathlib.Path, min_time: float | None,
+                     repetitions: int) -> dict:
+    exe = build_dir / "bench" / "bench_micro_engine"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found - build the bench targets first "
+                 f"(cmake --build {build_dir} --target bench_micro_engine)")
+    cmd = [str(exe), "--benchmark_format=json"]
+    if min_time is not None:
+        # Plain double: compatible with both old and new google-benchmark
+        # (newer releases also accept a "0.5s" suffix form, old ones do not).
+        cmd.append(f"--benchmark_min_time={min_time}")
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    data = json.loads(proc.stdout)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
+            continue
+        name = b.get("run_name", b["name"])
+        entry = {
+            "real_time_ns": to_ns(b.get("real_time", 0.0), b.get("time_unit", "ns")),
+            "items_per_second": b.get("items_per_second"),
+        }
+        if "states/s" in b:
+            entry["states_per_sec"] = b["states/s"]
+        out[name] = entry
+    return out
+
+
+def to_ns(value: float, unit: str) -> float:
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+    return value * scale
+
+
+def run_mapping_update(build_dir: pathlib.Path, scale: float) -> dict:
+    exe = build_dir / "bench" / "bench_mapping_update"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found - build the bench targets first "
+                 f"(cmake --build {build_dir} --target bench_mapping_update)")
+    cmd = [str(exe), str(scale)]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    m = re.search(r"mean share of runtime the incremental scheme avoids:\s*"
+                  r"([0-9.]+)%", proc.stdout)
+    return {
+        "scale": scale,
+        "mean_share_percent": float(m.group(1)) if m else None,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-bench", type=pathlib.Path,
+                    help="Release build tree containing bench/ binaries")
+    ap.add_argument("--output", default="BENCH_4.json", type=pathlib.Path)
+    ap.add_argument("--min-time", type=float, default=None,
+                    help="google-benchmark per-benchmark min time, seconds "
+                         "(default: library default; use 0.1 for CI smoke)")
+    ap.add_argument("--repetitions", type=int, default=1)
+    ap.add_argument("--mapping-scale", type=float, default=1.0,
+                    help="corpus scale for bench_mapping_update "
+                         "(0.2 keeps the CI smoke run short)")
+    ap.add_argument("--skip-mapping-update", action="store_true",
+                    help="only run bench_micro_engine")
+    ap.add_argument("--check-against", type=pathlib.Path, default=None,
+                    help="baseline BENCH_4.json; exit non-zero when the "
+                         "multi-constraint states/s regressed by more than "
+                         "--max-regression vs it")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="regression factor that fails --check-against "
+                         "(default 2.0 = fail when less than half as fast)")
+    args = ap.parse_args()
+
+    report = {
+        "schema": "gentrius-bench-4",
+        "generated_by": "tools/run_benchmarks.py",
+        "build_dir": str(args.build_dir),
+        "baseline": {
+            "multi_constraint_states_per_sec":
+                PRE_PR4_MULTI_CONSTRAINT_STATES_PER_SEC,
+            "description":
+                "seed engine (pre-PR 4) serial throughput on the "
+                "56-taxon/12-locus/0.55-missing configuration, seed 7014",
+        },
+        "micro_engine": run_micro_engine(args.build_dir, args.min_time,
+                                         args.repetitions),
+        "mapping_update": (None if args.skip_mapping_update else
+                           run_mapping_update(args.build_dir,
+                                              args.mapping_scale)),
+    }
+
+    derived = {}
+    multi = report["micro_engine"].get(MULTI_BENCH, {})
+    sps = multi.get("states_per_sec")
+    if sps:
+        derived["multi_constraint_states_per_sec"] = sps
+        derived["per_state_ns"] = 1e9 / sps
+        derived["speedup_vs_baseline"] = (
+            sps / PRE_PR4_MULTI_CONSTRAINT_STATES_PER_SEC)
+    report["derived"] = derived
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if sps:
+        print(f"multi-constraint: {sps:,.0f} states/s "
+              f"({derived['per_state_ns']:.1f} ns/state, "
+              f"{derived['speedup_vs_baseline']:.2f}x vs pre-PR baseline)")
+
+    if args.check_against is not None:
+        base = json.loads(args.check_against.read_text())
+        base_sps = (base.get("derived") or {}).get(
+            "multi_constraint_states_per_sec")
+        if not base_sps:
+            sys.exit(f"error: {args.check_against} has no "
+                     "derived.multi_constraint_states_per_sec")
+        if not sps:
+            sys.exit(f"error: fresh run has no {MULTI_BENCH} result")
+        floor = base_sps / args.max_regression
+        verdict = "OK" if sps >= floor else "REGRESSION"
+        print(f"regression check: {sps:,.0f} vs baseline {base_sps:,.0f} "
+              f"(floor {floor:,.0f}): {verdict}")
+        if sps < floor:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
