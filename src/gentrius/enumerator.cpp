@@ -149,8 +149,9 @@ void Enumerator::maybe_offer_task(Frame& f) {
   if (f.branches.size() < 2) return;
   GENTRIUS_DCHECK(f.next == 0);  // frame freshly set up, nothing consumed yet
   const std::size_t half = f.branches.size() / 2;
-  // The pooled task's vectors keep their capacity across offers; assign()
-  // copies the elements without reallocating in the steady state.
+  // Stage the offer in the pooled task outside any lock; an accepting sink
+  // swaps the vectors for its slot's, so capacity keeps circulating between
+  // the pool and the queue and steady-state offers never reallocate.
   offer_task_.path = path_;
   offer_task_.next_taxon = f.taxon;
   offer_task_.branches.assign(

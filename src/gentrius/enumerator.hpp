@@ -39,15 +39,16 @@ struct Task {
 
 /// Where offered tasks go. Implemented by the drivers (bounded queue for
 /// real threads, simulated queue for virtual time). try_push returns false
-/// when the queue is full — the enumerator then keeps the whole branch set.
-/// The task is passed by reference and COPIED by an accepting sink into its
-/// own pre-sized storage; producers hand in a pooled Task whose vectors are
-/// reused across offers, so the steady-state offer path performs no
-/// allocation on either side.
+/// when the queue is full — the task is untouched and the enumerator keeps
+/// the whole branch set. On success the sink SWAPS the task's vectors into
+/// its own slot storage (contents unspecified afterwards): the producer
+/// stages the task outside any lock, the hand-off itself is O(1), and the
+/// vectors coming back keep the slot's accumulated capacity, so the
+/// steady-state offer path performs no allocation on either side.
 class TaskSink {
  public:
   virtual ~TaskSink() = default;
-  virtual bool try_push(const Task& task) = 0;
+  virtual bool try_push(Task& task) = 0;
 };
 
 class Enumerator {

@@ -76,6 +76,7 @@ Terrace::Terrace(const Problem& problem, bool incremental)
   cached_count_.assign(problem.n_taxa, 0);
   cache_mut_.assign(problem.n_taxa, 0);
   cache_valid_.assign(problem.n_taxa, 0);
+  edge_gen_.assign(max_edges_, 0);
   // Ring must comfortably hold one full DFS path of insert events plus the
   // backtracking churn between two evaluations of the same taxon.
   journal_.resize(pow2_at_least(4 * n_total + 64));
@@ -152,7 +153,7 @@ void Terrace::preimage_unlink(std::size_t i, std::uint32_t s, EdgeId e) {
 
 void Terrace::journal_push(EdgeId split_edge, std::int8_t sign) {
   journal_[mutation_count_ & (journal_.size() - 1)] =
-      MutEvent{split_edge, sign};
+      MutEvent{split_edge, edge_gen_[split_edge], sign};
   ++mutation_count_;
   if (mutation_count_ - journal_base_ > journal_.size())
     journal_base_ = mutation_count_ - journal_.size();
@@ -244,6 +245,10 @@ void Terrace::remove(const InsertRecord& rec) {
     }
   }
   agile_.remove_leaf(rec);
+  // Both ids just went back to the free list; retire them so journal
+  // replays can tell a later reuse apart from the occupant they recorded.
+  ++edge_gen_[rec.leaf_edge];
+  ++edge_gen_[rec.moved_edge];
   inserted_.reset(x);
   rem_next_[rem_prev_[x]] = x;
   rem_prev_[rem_next_[x]] = x;
@@ -502,23 +507,38 @@ std::size_t Terrace::admissible_count(TaxonId x) {
     // Replay the journal window: an insert splits an edge into three that
     // agree on every constraint slot of x, so the admissible set gains (or
     // on remove, loses) exactly two edges iff the split edge is admissible.
-    // Evaluating admissibility with the *current* slots is exact: paired
-    // insert/remove events cancel, and unpaired events reference edges that
-    // are alive right now with slots untouched since x's constraints were
-    // last rebuilt.
+    // Evaluating admissibility with the *current* slots is exact only for
+    // events whose edge survived to the present: its slot is untouched
+    // since x's constraints were last rebuilt, and paired insert/remove
+    // events cancel. An event whose edge id died since (generation
+    // mismatch) may have been recycled by a later insert — the id's slot
+    // then reflects the new occupant, not the edge the event recorded — so
+    // the window is unreplayable and we recount from scratch.
     gather_constraints(x);
     std::int64_t c = static_cast<std::int64_t>(cached_count_[x]);
     const std::size_t mask = journal_.size() - 1;
+    bool replayable = true;
     for (std::uint64_t u = cache_mut_[x]; u < mutation_count_; ++u) {
       const MutEvent& evt = journal_[u & mask];
+      if (edge_gen_[evt.edge] != evt.gen) {
+        replayable = false;
+        break;
+      }
       if (edge_admissible(x, evt.edge)) c += 2 * evt.sign;
     }
-    GENTRIUS_DCHECK(c >= 0);
-    GENTRIUS_DCHECK(static_cast<std::size_t>(c) == count_fresh(x));
-    cached_count_[x] = static_cast<std::uint32_t>(c);
-    cache_mut_[x] = mutation_count_;
-    ++stats_.cached_counts;
-    return static_cast<std::size_t>(c);
+    if (replayable) {
+      GENTRIUS_DCHECK(c >= 0);
+      // Cross-check against a full recount: O(edges) per refresh, so it is
+      // off even in debug builds (which then exercise the cache as the
+      // authoritative count, like release); enable with
+      // -DGENTRIUS_EXPENSIVE_CHECKS=ON when touching the journal logic.
+      GENTRIUS_EXPENSIVE_DCHECK(static_cast<std::size_t>(c) ==
+                                count_fresh(x));
+      cached_count_[x] = static_cast<std::uint32_t>(c);
+      cache_mut_[x] = mutation_count_;
+      ++stats_.cached_counts;
+      return static_cast<std::size_t>(c);
+    }
   }
   const std::size_t c = count_fresh(x);
   cached_count_[x] = static_cast<std::uint32_t>(c);

@@ -30,12 +30,15 @@
 //    DFS root; the agile structural pass is shared by all constraints
 //    rebuilt at the same root in one ensure_mappings batch.
 //  * Per-taxon admissible counts are cached and maintained incrementally: a
-//    bounded journal records every insert/remove (the split edge and a
-//    sign), and a cached count is advanced by +/-2 per journaled event
-//    whose edge is admissible for the taxon — exact because an insertion
-//    splits one edge into three that agree on every clean constraint's
-//    key. Caches invalidate only when one of the taxon's own constraints
-//    went dirty.
+//    bounded journal records every insert/remove (the split edge, its reuse
+//    generation and a sign), and a cached count is advanced by +/-2 per
+//    journaled event whose edge is admissible for the taxon — exact because
+//    an insertion splits one edge into three that agree on every clean
+//    constraint's key. Caches invalidate when one of the taxon's own
+//    constraints went dirty, and a replay falls back to a fresh recount
+//    when an event's edge id died and was recycled since the event (the
+//    tree's LIFO free lists reuse ids, so the id's current slot would not
+//    be the one the event was journaled against).
 //  * Insertions and removals are strictly LIFO (the enumerator's DFS
 //    discipline); remove() must receive the record of the most recent
 //    insert(). The journal-delta proof and the dancing-links remaining-taxa
@@ -249,12 +252,20 @@ class Terrace {
   std::vector<char> cache_valid_;
   std::vector<std::uint64_t> dirty_mut_;   // [constraint]
   struct MutEvent {
-    EdgeId edge = kNoId;   ///< split edge of the insert / matching remove
-    std::int8_t sign = 0;  ///< +1 insert, -1 remove
+    EdgeId edge = kNoId;      ///< split edge of the insert / matching remove
+    std::uint32_t gen = 0;    ///< edge_gen_[edge] when the event was journaled
+    std::int8_t sign = 0;     ///< +1 insert, -1 remove
   };
   std::vector<MutEvent> journal_;  // ring, power-of-two size
   std::uint64_t mutation_count_ = 1;
   std::uint64_t journal_base_ = 1;  // oldest retained event index
+  // Per-edge-id reuse generation: bumped whenever an edge id is returned to
+  // the tree's LIFO free list (remove() frees the moved and pendant edges).
+  // phylo::Tree recycles ids, so a journaled event whose edge died since —
+  // its generation no longer matches — must not be replayed against the
+  // id's *current* occupant: the incremental clean-constraint update gave
+  // the recycled id the new split edge's slot without dirtying anything.
+  std::vector<std::uint32_t> edge_gen_;
 
   SelectionStats stats_;
 

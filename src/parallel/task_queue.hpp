@@ -6,11 +6,11 @@
 // enough to keep the pool fed without flooding it with tiny subproblems.
 //
 // Storage is a fixed ring of `capacity` Task slots allocated at
-// construction. A push copies the producer's pooled task into the tail
-// slot (vector assignment, reusing whatever capacity the slot accumulated);
-// a pop swaps the head slot with the consumer's pooled task. After warm-up
-// every hand-off is allocation-free on both sides, and no node allocation
-// ever happens inside the critical section.
+// construction. The producer stages its pooled task outside the lock and a
+// push swaps it with the tail slot; a pop swaps the head slot with the
+// consumer's pooled task. Both critical sections are O(1) pointer
+// exchanges: every hand-off is allocation-free on both sides, and no node
+// allocation or element copying ever happens inside the critical section.
 //
 // Termination detection: the queue tracks how many workers are busy. The
 // last worker to go idle with an empty queue declares the run finished and
@@ -44,17 +44,19 @@ class TaskQueue final : public core::TaskSink {
       : capacity_(capacity), slots_(capacity), busy_(workers) {}
 
   /// Producer side (called from inside Enumerator::step). Non-blocking:
-  /// a full queue rejects the task and the producer keeps the branches;
-  /// a terminated queue (done_) rejects every task.
-  bool try_push(const core::Task& task) override GENTRIUS_EXCLUDES(mutex_) {
+  /// a full queue rejects the task — left untouched, the producer keeps
+  /// the branches — and a terminated queue (done_) rejects every task. On
+  /// success the task's vectors are swapped into the tail slot; whatever
+  /// capacity the slot accumulated travels back to the producer's pool.
+  bool try_push(core::Task& task) override GENTRIUS_EXCLUDES(mutex_) {
     {
       support::MutexLock lock(mutex_);
       GENTRIUS_DCHECK_LE(size_, capacity_);
       if (done_ || size_ >= capacity_) return false;
       core::Task& slot = slots_[(head_ + size_) % capacity_];
-      slot.path = task.path;
+      std::swap(slot.path, task.path);
       slot.next_taxon = task.next_taxon;
-      slot.branches = task.branches;
+      std::swap(slot.branches, task.branches);
       ++size_;
     }
     cv_.notify_one();

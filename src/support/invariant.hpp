@@ -71,6 +71,25 @@ template <typename A, typename B>
 
 #endif  // GENTRIUS_ENABLE_INVARIANTS
 
+// GENTRIUS_EXPENSIVE_DCHECK: invariants whose *check* has asymptotically
+// higher cost than the code path it guards (e.g. cross-checking a cached
+// value against a full recomputation). Off by default even when
+// GENTRIUS_ENABLE_INVARIANTS is on — otherwise debug/sanitizer runs only
+// ever exercise "cached equals fresh" and never the cached value standing
+// on its own, and the cached path's debug cost degenerates to the fresh
+// path's. Enable with -DGENTRIUS_EXPENSIVE_CHECKS=ON (sets
+// GENTRIUS_ENABLE_EXPENSIVE_INVARIANTS=1) when working on the guarded
+// machinery itself.
+#if !defined(GENTRIUS_ENABLE_EXPENSIVE_INVARIANTS)
+#define GENTRIUS_ENABLE_EXPENSIVE_INVARIANTS 0
+#endif
+
+#if GENTRIUS_ENABLE_EXPENSIVE_INVARIANTS && GENTRIUS_ENABLE_INVARIANTS
+#define GENTRIUS_EXPENSIVE_DCHECK(expr) GENTRIUS_DCHECK(expr)
+#else
+#define GENTRIUS_EXPENSIVE_DCHECK(expr) ((void)sizeof((expr) ? 1 : 0))
+#endif
+
 #define GENTRIUS_DCHECK_EQ(a, b) GENTRIUS_DCHECK_OP(==, a, b)
 #define GENTRIUS_DCHECK_NE(a, b) GENTRIUS_DCHECK_OP(!=, a, b)
 #define GENTRIUS_DCHECK_LT(a, b) GENTRIUS_DCHECK_OP(<, a, b)

@@ -34,9 +34,9 @@ namespace {
 /// scope — the mechanical form of the determinism guarantee the header
 /// documents. The push cost is charged to whichever worker's clock is
 /// installed as the producer. Like the real TaskQueue, storage is a fixed
-/// ring of Task slots: pushes copy into a slot, pops swap the slot with the
-/// scheduler's pooled steal target, so the simulated hand-off is
-/// allocation-free in the steady state too.
+/// ring of Task slots: pushes swap the producer's staged task into a slot,
+/// pops swap the slot with the scheduler's pooled steal target, so the
+/// simulated hand-off is allocation-free too.
 class VirtualQueue final : public core::TaskSink {
  public:
   VirtualQueue(std::size_t capacity, double queue_cost)
@@ -53,15 +53,15 @@ class VirtualQueue final : public core::TaskSink {
 
   // Called through core::TaskSink from inside Enumerator::step, which only
   // runs while the event loop (holding the role) steps the worker.
-  bool try_push(const Task& task) override GENTRIUS_REQUIRES(role_) {
+  bool try_push(Task& task) override GENTRIUS_REQUIRES(role_) {
     GENTRIUS_DCHECK_LE(size_, capacity_);
     if (size_ >= capacity_) return false;
     GENTRIUS_DCHECK(producer_clock_ != nullptr);
     *producer_clock_ += queue_cost_;
     Entry& slot = slots_[(head_ + size_) % capacity_];
-    slot.task.path = task.path;
+    std::swap(slot.task.path, task.path);
     slot.task.next_taxon = task.next_taxon;
-    slot.task.branches = task.branches;
+    std::swap(slot.task.branches, task.branches);
     slot.available_at = *producer_clock_;
     ++size_;
     return true;

@@ -15,9 +15,9 @@ namespace {
 class RecordingSink final : public TaskSink {
  public:
   explicit RecordingSink(std::size_t cap) : cap_(cap) {}
-  bool try_push(const Task& task) override {
+  bool try_push(Task& task) override {
     if (tasks.size() >= cap_) return false;
-    tasks.push_back(task);
+    tasks.push_back(task);  // copy: the recording must outlive the pool
     return true;
   }
   std::vector<Task> tasks;

@@ -28,6 +28,9 @@ core::Task make_task(int tag) {
   return t;
 }
 
+/// try_push takes a mutable Task (swap hand-off); stage the temporary.
+bool push(TaskQueue& q, core::Task t) { return q.try_push(t); }
+
 // --- producers hammering try_push while broadcast_stop fires ---------------
 //
 // The edge under test: a stopping rule fires while external producers are
@@ -59,7 +62,7 @@ TEST(RaceStress, PushStormVersusBroadcastStop) {
       threads.emplace_back([&, p] {
         int tag = static_cast<int>(p) * 10000;
         while (!producers_done.load(std::memory_order_acquire)) {
-          if (queue.try_push(make_task(tag++)))
+          if (push(queue, make_task(tag++)))
             accepted.fetch_add(1, std::memory_order_relaxed);
           std::this_thread::yield();
         }
@@ -78,7 +81,7 @@ TEST(RaceStress, PushStormVersusBroadcastStop) {
     // Consumers never see more tasks than producers enqueued; tasks left in
     // the queue when the stop landed are the only permissible shortfall.
     EXPECT_LE(consumed.load(), accepted.load());
-    EXPECT_FALSE(queue.try_push(make_task(-1)))
+    EXPECT_FALSE(push(queue, make_task(-1)))
         << "queue must stay terminated after broadcast_stop";
   }
 }
@@ -101,7 +104,7 @@ TEST(RaceStress, LastWorkerTerminationRacesLatePush) {
     std::thread pusher([&] {
       // Vary the push timing across rounds to sweep the race window.
       for (int spin = 0; spin < round % 50; ++spin) std::this_thread::yield();
-      if (queue.try_push(make_task(round)))
+      if (push(queue, make_task(round)))
         accepted.fetch_add(1, std::memory_order_relaxed);
     });
     std::thread worker_a([&] {
@@ -121,7 +124,7 @@ TEST(RaceStress, LastWorkerTerminationRacesLatePush) {
 
     EXPECT_EQ(consumed.load(), accepted.load())
         << "an accepted task was lost (or duplicated) in round " << round;
-    EXPECT_FALSE(queue.try_push(make_task(-1)))
+    EXPECT_FALSE(push(queue, make_task(-1)))
         << "try_push must reject after termination";
   }
 }
@@ -147,13 +150,13 @@ TEST(RaceStress, SelfDrainingPoolWithReoffers) {
         // Seed the queue while "busy", then drain; every fifth consumed task
         // re-offers a child task that does not itself spawn more work.
         for (int i = 0; i < 40; ++i) {
-          if (queue.try_push(make_task(static_cast<int>(w) * 1000 + i + 2)))
+          if (push(queue, make_task(static_cast<int>(w) * 1000 + i + 2)))
             accepted.fetch_add(1, std::memory_order_relaxed);
         }
         core::Task task;
         while (queue.pop(sink, task)) {
           consumed.fetch_add(1, std::memory_order_relaxed);
-          if (task.next_taxon % 5 == 0 && queue.try_push(make_task(1)))
+          if (task.next_taxon % 5 == 0 && push(queue, make_task(1)))
             accepted.fetch_add(1, std::memory_order_relaxed);
         }
       });

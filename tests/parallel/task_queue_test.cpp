@@ -15,6 +15,9 @@ core::Task make_task(int tag) {
   return t;
 }
 
+/// try_push takes a mutable Task (swap hand-off); stage the temporary.
+bool push(TaskQueue& q, core::Task t) { return q.try_push(t); }
+
 TEST(TaskQueue, CapacityRuleMatchesPaper) {
   EXPECT_EQ(queue_capacity_for(1), 2u);
   EXPECT_EQ(queue_capacity_for(2), 3u);
@@ -26,9 +29,9 @@ TEST(TaskQueue, CapacityRuleMatchesPaper) {
 
 TEST(TaskQueue, RejectsWhenFull) {
   TaskQueue q(2, /*workers=*/2);
-  EXPECT_TRUE(q.try_push(make_task(1)));
-  EXPECT_TRUE(q.try_push(make_task(2)));
-  EXPECT_FALSE(q.try_push(make_task(3)));
+  EXPECT_TRUE(push(q, make_task(1)));
+  EXPECT_TRUE(push(q, make_task(2)));
+  EXPECT_FALSE(push(q, make_task(3)));
 }
 
 TEST(TaskQueue, SingleWorkerTerminatesImmediately) {
@@ -41,8 +44,8 @@ TEST(TaskQueue, SingleWorkerTerminatesImmediately) {
 TEST(TaskQueue, HandsTasksFifoAndTerminates) {
   core::CounterSink sink({});
   TaskQueue q(4, 2);
-  ASSERT_TRUE(q.try_push(make_task(7)));
-  ASSERT_TRUE(q.try_push(make_task(8)));
+  ASSERT_TRUE(push(q, make_task(7)));
+  ASSERT_TRUE(push(q, make_task(8)));
   // Worker A: takes both tasks, then goes idle; worker B goes idle first.
   std::vector<int> taken;
   std::thread b([&] {
@@ -83,8 +86,8 @@ TEST(TaskQueue, PopReturnsNulloptAfterStopWithTasksStillEnqueued) {
   // hand out the stale tasks, it must report termination.
   core::CounterSink sink({});
   TaskQueue q(4, /*workers=*/2);
-  ASSERT_TRUE(q.try_push(make_task(1)));
-  ASSERT_TRUE(q.try_push(make_task(2)));
+  ASSERT_TRUE(push(q, make_task(1)));
+  ASSERT_TRUE(push(q, make_task(2)));
   ASSERT_EQ(q.size(), 2u);
   sink.request_stop(core::StopReason::kStateLimit);
   q.broadcast_stop();
@@ -99,7 +102,7 @@ TEST(TaskQueue, PopHonoursSinkStopEvenWithoutBroadcast) {
   // task hand-out to a worker arriving at pop().
   core::CounterSink sink({});
   TaskQueue q(4, /*workers=*/2);
-  ASSERT_TRUE(q.try_push(make_task(7)));
+  ASSERT_TRUE(push(q, make_task(7)));
   sink.request_stop(core::StopReason::kTreeLimit);
   core::Task out;
   EXPECT_FALSE(q.pop(sink, out));
@@ -111,7 +114,7 @@ TEST(TaskQueue, TryPushRejectedAfterTermination) {
   core::CounterSink sink({});
   TaskQueue q(4, /*workers=*/2);
   q.broadcast_stop();
-  EXPECT_FALSE(q.try_push(make_task(1)));
+  EXPECT_FALSE(push(q, make_task(1)));
   EXPECT_EQ(q.size(), 0u);
 }
 
@@ -122,7 +125,7 @@ TEST(TaskQueue, TryPushRejectedAfterLastWorkerTerminates) {
   TaskQueue q(4, /*workers=*/1);
   core::Task out;
   EXPECT_FALSE(q.pop(sink, out));  // sole worker goes idle: done
-  EXPECT_FALSE(q.try_push(make_task(1)));
+  EXPECT_FALSE(push(q, make_task(1)));
 }
 
 TEST(TaskQueue, ManyThreadsStress) {
@@ -138,14 +141,14 @@ TEST(TaskQueue, ManyThreadsStress) {
     threads.emplace_back([&, w] {
       // Each worker produces a few tasks while "busy", then drains.
       for (int i = 0; i < 50; ++i) {
-        if (q.try_push(make_task(static_cast<int>(w * 100 + i)))) ++produced;
+        if (push(q, make_task(static_cast<int>(w * 100 + i)))) ++produced;
       }
       core::Task t;
       while (q.pop(sink, t)) {
         ++consumed;
         // Simulate a bit of work and possibly re-push (a tag that does not
         // itself trigger another re-push, or the pool never drains).
-        if (t.next_taxon % 5 == 0 && q.try_push(make_task(1001))) ++produced;
+        if (t.next_taxon % 5 == 0 && push(q, make_task(1001))) ++produced;
       }
     });
   }
