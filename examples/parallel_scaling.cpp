@@ -3,7 +3,10 @@
 // Runs the same instance serially, with real worker threads (correctness
 // demonstration — on a single-core host wall-clock speedup is not
 // expected), and under the virtual-time scheduler at 1..16 workers, then
-// prints the speedup table the paper's Figures 6/7 are built from.
+// prints the speedup table the paper's Figures 6/7 are built from —
+// side by side for both schedulers (the paper's central queue and the
+// distributed per-worker deques), with the task-offer and steal
+// observability counters from core::Result.
 #include <cstdio>
 #include <cstdlib>
 
@@ -42,26 +45,54 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(serial.dead_ends), serial.seconds,
       core::to_string(serial.reason));
 
-  const auto real4 = parallel::run_parallel(problem, options, 4);
-  std::printf("real 4-thread pool: %llu trees, %llu states, %llu dead ends — "
-              "identical to serial: %s\n",
-              static_cast<unsigned long long>(real4.stand_trees),
-              static_cast<unsigned long long>(real4.intermediate_states),
-              static_cast<unsigned long long>(real4.dead_ends),
-              (real4.stand_trees == serial.stand_trees &&
-               real4.intermediate_states == serial.intermediate_states)
-                  ? "yes"
-                  : "NO");
+  for (const core::Scheduler sched :
+       {core::Scheduler::kCentralQueue, core::Scheduler::kDistributedDeques}) {
+    core::Options opts = options;
+    opts.scheduler = sched;
+    const auto real4 = parallel::run_parallel(problem, opts, 4);
+    std::printf(
+        "real 4-thread pool [%s]: %llu trees, %llu states, "
+        "%llu dead ends — identical to serial: %s\n",
+        core::to_string(sched),
+        static_cast<unsigned long long>(real4.stand_trees),
+        static_cast<unsigned long long>(real4.intermediate_states),
+        static_cast<unsigned long long>(real4.dead_ends),
+        (real4.stand_trees == serial.stand_trees &&
+         real4.intermediate_states == serial.intermediate_states)
+            ? "yes"
+            : "NO");
+    std::printf(
+        "  offered %llu tasks; stolen %llu of %llu attempts "
+        "(%llu failed probes, %llu full-queue rejections, depth<=%llu)\n",
+        static_cast<unsigned long long>(real4.tasks_offered),
+        static_cast<unsigned long long>(real4.sched.tasks_stolen),
+        static_cast<unsigned long long>(real4.sched.steal_attempts),
+        static_cast<unsigned long long>(real4.sched.failed_steal_probes),
+        static_cast<unsigned long long>(real4.sched.queue_full_rejections),
+        static_cast<unsigned long long>(real4.sched.max_queue_depth));
+  }
 
   const auto base = vthread::run_virtual(problem, options, 1);
-  std::printf("\n%8s %14s %10s %8s\n", "threads", "makespan", "speedup",
-              "tasks");
-  std::printf("%8d %14.0f %10.2f %8s\n", 1, base.virtual_makespan, 1.0, "-");
+  std::printf("\n%8s | %14s %8s %8s %8s | %14s %8s %8s %8s\n", "threads",
+              "central", "speedup", "tasks", "stolen", "distributed",
+              "speedup", "tasks", "stolen");
+  std::printf("%8d | %14.0f %8.2f %8s %8s | %14.0f %8.2f %8s %8s\n", 1,
+              base.virtual_makespan, 1.0, "-", "-", base.virtual_makespan,
+              1.0, "-", "-");
   for (const std::size_t t : {2u, 4u, 8u, 12u, 16u}) {
-    const auto r = vthread::run_virtual(problem, options, t);
-    std::printf("%8zu %14.0f %10.2f %8llu\n", t, r.virtual_makespan,
-                base.virtual_makespan / r.virtual_makespan,
-                static_cast<unsigned long long>(r.tasks_executed));
+    core::Options dopts = options;
+    dopts.scheduler = core::Scheduler::kDistributedDeques;
+    const auto c = vthread::run_virtual(problem, options, t);
+    const auto d = vthread::run_virtual(problem, dopts, t);
+    std::printf("%8zu | %14.0f %8.2f %8llu %8llu | %14.0f %8.2f %8llu %8llu\n",
+                t, c.virtual_makespan,
+                base.virtual_makespan / c.virtual_makespan,
+                static_cast<unsigned long long>(c.tasks_executed),
+                static_cast<unsigned long long>(c.sched.tasks_stolen),
+                d.virtual_makespan,
+                base.virtual_makespan / d.virtual_makespan,
+                static_cast<unsigned long long>(d.tasks_executed),
+                static_cast<unsigned long long>(d.sched.tasks_stolen));
   }
   return 0;
 }

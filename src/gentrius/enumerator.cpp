@@ -17,7 +17,7 @@ Enumerator::Enumerator(const Problem& problem, const Options& options,
       options_(&options),
       terrace_(problem, options.incremental_mappings),
       counters_(sink, options.tree_flush_batch, options.state_flush_batch,
-                options.dead_end_flush_batch),
+                options.dead_end_flush_batch, options.time_check_flush_period),
       sink_(&sink) {
   if (!options.dynamic_taxon_order || !options.insertion_order.empty()) {
     if (!options.insertion_order.empty()) {

@@ -19,6 +19,30 @@ struct StoppingRules {
   double max_seconds = 168.0 * 3600.0;
 };
 
+/// Which work-distribution scheduler the parallel drivers use (real pool
+/// and virtual-time simulator alike; serial runs ignore it).
+///
+///  * kCentralQueue — the paper's §III design: one bounded mutex/condvar
+///    queue shared by all workers, capacity N_t+1 (N_t < 8) or N_t/2.
+///    Paper-faithful and the default.
+///  * kDistributedDeques — per-worker bounded deques with owner-local LIFO
+///    push/pop, FIFO steals under deterministically seeded victim
+///    selection, and atomic busy-count termination detection. Removes the
+///    central queue's lock serialization and capacity starvation at high
+///    thread counts (the scalability extension; see docs/PERFORMANCE.md).
+///
+/// Both schedulers produce identical tree/state/dead-end counts and the
+/// identical stand set when the stopping rules do not fire.
+enum class Scheduler : std::uint8_t { kCentralQueue, kDistributedDeques };
+
+inline const char* to_string(Scheduler s) {
+  switch (s) {
+    case Scheduler::kCentralQueue: return "central-queue";
+    case Scheduler::kDistributedDeques: return "distributed-deques";
+  }
+  return "?";
+}
+
 struct Options {
   /// Heuristic 1: start from the constraint tree sharing the most taxa with
   /// the others (paper §II-B). Off = start from `initial_constraint`
@@ -74,6 +98,22 @@ struct Options {
   std::uint32_t tree_flush_batch = 1u << 10;
   std::uint32_t state_flush_batch = 1u << 13;
   std::uint32_t dead_end_flush_batch = 1u << 10;
+
+  /// Stopping rule 3 (wall clock) is evaluated at most once per this many
+  /// counter flushes. The documented granularity is every flush (default 1);
+  /// raising it trades clock syscalls for a proportionally coarser time
+  /// rule, bounded by (threads * batch * period) extra work before the rule
+  /// lands. Counter totals and flush counts are unaffected.
+  std::uint32_t time_check_flush_period = 1;
+
+  /// Work-distribution scheduler for the parallel drivers.
+  Scheduler scheduler = Scheduler::kCentralQueue;
+
+  /// Seed for the distributed scheduler's randomized victim selection
+  /// (per-worker streams are derived as steal_seed ^ worker id). The
+  /// virtual-time simulator's schedule is a deterministic function of this
+  /// seed; the real pool's task totals are seed-independent.
+  std::uint64_t steal_seed = 0x57ea1u;
 };
 
 enum class StopReason : std::uint8_t {
@@ -95,6 +135,18 @@ inline const char* to_string(StopReason r) {
   return "?";
 }
 
+/// Scheduler observability, aggregated over all workers of a run. The
+/// central queue reports its pops as steals (every hand-off crosses the
+/// shared queue); the distributed scheduler counts only cross-worker
+/// transfers — owner-local pop-backs appear in tasks_executed alone.
+struct SchedulerStats {
+  std::uint64_t tasks_stolen = 0;          ///< tasks acquired from the queue/deques
+  std::uint64_t steal_attempts = 0;        ///< victim probes (central: pops)
+  std::uint64_t failed_steal_probes = 0;   ///< probes that found an empty deque
+  std::uint64_t queue_full_rejections = 0; ///< offers bounced off a full ring
+  std::uint64_t max_queue_depth = 0;       ///< deepest any ring ever got
+};
+
 struct Result {
   std::uint64_t stand_trees = 0;
   std::uint64_t intermediate_states = 0;
@@ -109,6 +161,8 @@ struct Result {
   std::size_t initial_split_branches = 0;  ///< fan-out at state I0 (0 = no split)
   std::size_t prefix_length = 0;           ///< forced insertions before I0
   std::uint64_t tasks_executed = 0;        ///< work-stealing tasks run (parallel)
+  std::uint64_t tasks_offered = 0;         ///< successful task offers (parallel)
+  SchedulerStats sched;                    ///< scheduler observability
   double virtual_makespan = 0.0;           ///< virtual-time runs only
 };
 

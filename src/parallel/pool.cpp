@@ -5,6 +5,7 @@
 
 #include "gentrius/counters.hpp"
 #include "gentrius/enumerator.hpp"
+#include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
 #include "support/invariant.hpp"
 #include "support/stopwatch.hpp"
@@ -32,6 +33,60 @@ struct WorkerOutput {
       Enumerator::Prefix::Outcome::kEmpty;
   std::size_t prefix_length = 0;
   std::size_t split_branches = 0;
+};
+
+/// Uniform worker-side view of either scheduler. The worker loop only
+/// needs four operations: where its offers go, how it blocks for more
+/// work, how to release everyone after a stop, and the end-of-run stats.
+class SchedulerDriver {
+ public:
+  virtual ~SchedulerDriver() = default;
+  virtual core::TaskSink* sink_for(std::size_t tid) = 0;
+  virtual bool acquire(std::size_t tid, const CounterSink& sink,
+                       core::Task& out) = 0;
+  virtual void broadcast_stop() = 0;
+  virtual core::StopWaker* waker() = 0;
+  virtual core::SchedulerStats stats() const = 0;
+};
+
+/// Paper §III scheduler: the shared bounded TaskQueue.
+class CentralDriver final : public SchedulerDriver {
+ public:
+  explicit CentralDriver(std::size_t n_threads)
+      : queue_(queue_capacity_for(n_threads), n_threads) {}
+
+  core::TaskSink* sink_for(std::size_t) override { return &queue_; }
+  bool acquire(std::size_t, const CounterSink& sink,
+               core::Task& out) override {
+    return queue_.pop(sink, out);
+  }
+  void broadcast_stop() override { queue_.broadcast_stop(); }
+  core::StopWaker* waker() override { return &queue_; }
+  core::SchedulerStats stats() const override { return queue_.stats(); }
+
+ private:
+  TaskQueue queue_;
+};
+
+/// Distributed scheduler: per-worker deques with randomized stealing.
+class DequeDriver final : public SchedulerDriver {
+ public:
+  DequeDriver(std::size_t n_threads, std::uint64_t steal_seed)
+      : sched_(n_threads, steal_seed) {}
+
+  core::TaskSink* sink_for(std::size_t tid) override {
+    return sched_.sink_for(tid);
+  }
+  bool acquire(std::size_t tid, const CounterSink& sink,
+               core::Task& out) override {
+    return sched_.acquire(tid, sink, out);
+  }
+  void broadcast_stop() override { sched_.broadcast_stop(); }
+  core::StopWaker* waker() override { return &sched_; }
+  core::SchedulerStats stats() const override { return sched_.stats(); }
+
+ private:
+  DequeScheduler sched_;
 };
 
 /// Slice [begin, begin+len) of the I0 branch set assigned to thread `tid`
@@ -63,18 +118,20 @@ bool drain(Enumerator& e) {
 }
 
 // Shared-state discipline (checked by Clang -Wthread-safety where locks are
-// involved): `queue` guards its own members internally (task_queue.hpp),
-// `sink` is lock-free atomics (counters.hpp), and each worker writes only
-// its own `out` slot — the pool joins every thread before reading them.
+// involved): the scheduler guards its own members internally (task_queue.hpp
+// / steal_deque.hpp), `sink` is lock-free atomics (counters.hpp), and each
+// worker writes only its own `out` slot — the pool joins every thread
+// before reading them.
 void worker_body(std::size_t tid, std::size_t n_threads,
                  const Problem& problem, const Options& options,
-                 CounterSink& sink, TaskQueue* queue, WorkerOutput& out) {
+                 CounterSink& sink, SchedulerDriver* driver,
+                 WorkerOutput& out) {
   GENTRIUS_DCHECK_LT(tid, n_threads);
   // Each thread builds its private Terrace and re-executes the deterministic
   // prefix (paper: "the first stages of execution are identical across all
   // threads"); only thread 0 counts those states.
   Enumerator e(problem, options, sink);
-  if (queue != nullptr) e.set_task_sink(queue);
+  if (driver != nullptr) e.set_task_sink(driver->sink_for(tid));
 
   const auto& prefix = e.run_prefix(/*count=*/tid == 0);
   out.prefix_outcome = prefix.outcome;
@@ -94,18 +151,18 @@ void worker_body(std::size_t tid, std::size_t n_threads,
     }
   }
 
-  if (queue != nullptr) {
-    // Pooled steal target: pop() swaps the queue slot with this task, so
-    // repeated steals recycle the same vector storage.
+  if (driver != nullptr) {
+    // Pooled steal target: acquire() swaps a queue/deque slot with this
+    // task, so repeated steals recycle the same vector storage.
     core::Task task;
     while (!stopped) {
-      if (!queue->pop(sink, task)) break;
+      if (!driver->acquire(tid, sink, task)) break;
       e.adopt_task(task);
       ++out.tasks_executed;
       stopped = drain(e);
       if (!stopped) e.rewind_to_split();
     }
-    if (stopped) queue->broadcast_stop();
+    if (stopped) driver->broadcast_stop();
   }
 
   e.counters().flush_all();
@@ -114,7 +171,7 @@ void worker_body(std::size_t tid, std::size_t n_threads,
 }
 
 Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
-                double seconds) {
+                const SchedulerDriver* driver, double seconds) {
   Result result;
   result.stand_trees = sink.stand_trees();
   result.intermediate_states = sink.states();
@@ -128,10 +185,12 @@ Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
     result.reason = StopReason::kEmptyStand;
   for (auto& o : outputs) {
     result.tasks_executed += o.tasks_executed;
+    result.tasks_offered += o.tasks_offered;
     result.trees.insert(result.trees.end(),
                         std::make_move_iterator(o.trees.begin()),
                         std::make_move_iterator(o.trees.end()));
   }
+  if (driver != nullptr) result.sched = driver->stats();
   return result;
 }
 
@@ -140,13 +199,25 @@ Result run_pool(const Problem& problem, const Options& options,
   support::Stopwatch clock;
   CounterSink sink(options.stop);
   std::vector<WorkerOutput> outputs(n_threads);
-  TaskQueue queue(queue_capacity_for(n_threads), n_threads);
-  TaskQueue* queue_ptr = work_stealing ? &queue : nullptr;
+
+  CentralDriver central(n_threads);
+  DequeDriver deques(n_threads, options.steal_seed);
+  SchedulerDriver* driver = nullptr;
+  if (work_stealing) {
+    driver = options.scheduler == core::Scheduler::kDistributedDeques
+                 ? static_cast<SchedulerDriver*>(&deques)
+                 : static_cast<SchedulerDriver*>(&central);
+    // Stop-wake hook: request_stop from any thread unparks blocked
+    // consumers immediately instead of waiting for a busy worker to notice
+    // the flag. Cleared before the driver goes out of scope.
+    sink.set_stop_waker(driver->waker());
+  }
 
   if (n_threads == 1) {
-    // Degenerate pool: still exercises the worker path, minus the queue.
-    worker_body(0, 1, problem, options, sink, queue_ptr, outputs[0]);
-    return assemble(sink, outputs, clock.seconds());
+    // Degenerate pool: still exercises the worker path, minus stealing.
+    worker_body(0, 1, problem, options, sink, driver, outputs[0]);
+    sink.set_stop_waker(nullptr);
+    return assemble(sink, outputs, driver, clock.seconds());
   }
 
 #ifdef _OPENMP
@@ -156,10 +227,11 @@ Result run_pool(const Problem& problem, const Options& options,
 #pragma omp parallel num_threads(static_cast<int>(n_threads))
     {
       const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-      worker_body(tid, n_threads, problem, options, sink, queue_ptr,
+      worker_body(tid, n_threads, problem, options, sink, driver,
                   outputs[tid]);
     }
-    return assemble(sink, outputs, clock.seconds());
+    sink.set_stop_waker(nullptr);
+    return assemble(sink, outputs, driver, clock.seconds());
   }
 #else
   (void)mode;
@@ -170,12 +242,13 @@ Result run_pool(const Problem& problem, const Options& options,
     threads.reserve(n_threads);
     for (std::size_t tid = 0; tid < n_threads; ++tid) {
       threads.emplace_back([&, tid] {
-        worker_body(tid, n_threads, problem, options, sink, queue_ptr,
+        worker_body(tid, n_threads, problem, options, sink, driver,
                     outputs[tid]);
       });
     }
   }  // jthreads join here
-  return assemble(sink, outputs, clock.seconds());
+  sink.set_stop_waker(nullptr);
+  return assemble(sink, outputs, driver, clock.seconds());
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+// Distributed work-stealing scheduler: per-worker bounded deques.
+//
+// The paper's §III design funnels every hand-off through one mutex/condvar
+// TaskQueue whose capacity rule (N_t+1, then N_t/2) deliberately starves
+// the pool at high thread counts. This header implements the alternative
+// scheduler (Options::Scheduler::kDistributedDeques): each worker owns a
+// bounded ring deque, pushes and pops its own tasks LIFO (newest = deepest
+// subtree, warm state), and — when both its assignment and its deque are
+// empty — steals FIFO (oldest = shallowest = biggest subtree) from victims
+// visited in a deterministically seeded random cyclic order. Lock traffic
+// is per-deque: owners and thieves contend only on the ring they actually
+// touch, never on one global mutex.
+//
+// Termination detection is a busy count: a worker whose steal sweep fails
+// registers as idle under the scheduler's signal mutex; the last worker to
+// go idle with zero pending tasks declares the run finished and wakes
+// everyone. Pushes signal sleepers through the same mutex, so a parked
+// worker is unparked by the next offer (or by a stopping rule via the
+// core::StopWaker hook).
+//
+// Decomposition semantics are identical to the central queue: an offered
+// task carries half of a frame's admissible branches plus the replay path,
+// the producer keeps the other half, and every branch is explored (and
+// counted) exactly once by whoever ends up holding it — so tree/state/
+// dead-end totals and the stand set match the serial run whenever the
+// stopping rules stay quiet. The virtual-time simulator re-implements this
+// exact decomposition deterministically (src/vthread/virtual_pool.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "gentrius/counters.hpp"
+#include "gentrius/enumerator.hpp"
+#include "gentrius/options.hpp"
+#include "support/invariant.hpp"
+#include "support/rng.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace gentrius::parallel {
+
+/// Per-worker ring capacity. Unlike the central queue's N_t-coupled rule,
+/// capacity is per worker, so total task headroom scales with the pool: at
+/// 48 threads the central queue holds 24 tasks for 47 potential thieves,
+/// while 48 deques hold up to 384. Eight slots per worker keeps the
+/// owner-side pop-back churn (rewind + replay of self-offered tasks that
+/// nobody stole) negligible while leaving thieves plenty to take.
+inline std::size_t steal_deque_capacity_for(std::size_t /*n_threads*/) {
+  return 8;
+}
+
+/// Deterministically seeded victim-selection stream: one per worker, used
+/// only by its owner. Each steal sweep starts at a pseudo-random peer and
+/// scans cyclically, so thieves spread over victims instead of convoying on
+/// worker 0. The identical generator drives the virtual-time simulator's
+/// victim order, making the simulated schedule a pure function of
+/// Options::steal_seed.
+class VictimSelector {
+ public:
+  VictimSelector() : rng_(0) {}
+  VictimSelector(std::uint64_t seed, std::size_t tid, std::size_t n_workers)
+      : rng_(seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1))),
+        n_workers_(n_workers) {}
+
+  /// First victim candidate of a sweep (may equal the caller's own id —
+  /// sweeps skip self). Cyclic scan order: begin, begin+1, ... mod n.
+  std::size_t begin_sweep() { return rng_.below(n_workers_ ? n_workers_ : 1); }
+
+ private:
+  support::Rng rng_;
+  std::size_t n_workers_ = 1;
+};
+
+/// One worker's bounded task ring. The owner pushes and pops at the tail
+/// (LIFO); thieves take from the head (FIFO). All hand-offs swap the task's
+/// vectors with slot storage, so the critical sections are O(1) pointer
+/// exchanges exactly like the central TaskQueue's.
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {}
+
+  /// Owner-side capacity reservation: false (counting the rejection) when
+  /// the ring is full. Sound as a push precondition despite being a
+  /// separate critical section: the owner is the only thread that adds
+  /// tasks, and thieves can only drain, so a non-full observation cannot
+  /// be invalidated before the owner's next push.
+  bool try_reserve() GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    if (size_ >= capacity_) {
+      ++rejections_;
+      return false;
+    }
+    return true;
+  }
+
+  /// Owner side: false when full (the caller keeps its branches). Counts
+  /// capacity rejections and tracks the high-water depth.
+  bool owner_push(core::Task& task) GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    GENTRIUS_DCHECK_LE(size_, capacity_);
+    if (size_ >= capacity_) {
+      ++rejections_;
+      return false;
+    }
+    swap_into(slots_[(head_ + size_) % capacity_], task);
+    ++size_;
+    if (size_ > max_depth_) max_depth_ = size_;
+    return true;
+  }
+
+  /// Owner side: newest task (deepest subtree), or false when empty.
+  bool owner_pop(core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    if (size_ == 0) return false;
+    --size_;
+    swap_into(out, slots_[(head_ + size_) % capacity_]);
+    return true;
+  }
+
+  /// Thief side: oldest task (shallowest, biggest subtree), or false.
+  bool steal(core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    if (size_ == 0) return false;
+    swap_into(out, slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    return size_;
+  }
+  std::uint64_t rejections() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    return rejections_;
+  }
+  std::size_t max_depth() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    return max_depth_;
+  }
+
+ private:
+  static void swap_into(core::Task& dst, core::Task& src) {
+    std::swap(dst.path, src.path);
+    dst.next_taxon = src.next_taxon;
+    std::swap(dst.branches, src.branches);
+  }
+
+  const std::size_t capacity_;
+  mutable support::Mutex mutex_;
+  std::vector<core::Task> slots_ GENTRIUS_GUARDED_BY(mutex_);  // fixed ring
+  std::size_t head_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::size_t size_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::size_t max_depth_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejections_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+};
+
+/// The full distributed scheduler: N_t deques, per-worker victim streams,
+/// busy-count termination, and a signal mutex/condvar for parking idle
+/// workers. Workers interact through per-worker handles: the handle is the
+/// enumerator's TaskSink (offers land in the worker's own deque) and the
+/// pool's blocking acquire source.
+class DequeScheduler final : public core::StopWaker {
+ public:
+  DequeScheduler(std::size_t workers, std::uint64_t steal_seed)
+      : workers_(workers), busy_(workers) {
+    handles_.reserve(workers);
+    for (std::size_t tid = 0; tid < workers; ++tid) {
+      deques_.emplace_back(steal_deque_capacity_for(workers));
+      handles_.push_back(Handle{this, tid, VictimSelector(steal_seed, tid, workers)});
+    }
+  }
+
+  /// Per-worker TaskSink: offers go to the worker's own deque. Owned by the
+  /// scheduler; each worker uses exactly its own handle.
+  class Handle final : public core::TaskSink {
+   public:
+    Handle(DequeScheduler* sched, std::size_t tid, VictimSelector selector)
+        : sched_(sched), tid_(tid), selector_(selector) {}
+
+    bool try_push(core::Task& task) override {
+      return sched_->push_local(tid_, task);
+    }
+
+   private:
+    friend class DequeScheduler;
+    DequeScheduler* sched_;
+    std::size_t tid_;
+    VictimSelector selector_;  // touched only by the owning worker thread
+  };
+
+  core::TaskSink* sink_for(std::size_t tid) {
+    GENTRIUS_DCHECK_LT(tid, workers_);
+    return &handles_[tid];
+  }
+
+  /// Blocking acquire for worker `tid`: own deque LIFO first, then a steal
+  /// sweep over the other deques, then park until a push or termination.
+  /// Returns false when the pool terminated (all workers idle, no pending
+  /// tasks) or a stopping rule fired; `out` is untouched then.
+  bool acquire(std::size_t tid, const core::CounterSink& sink, core::Task& out)
+      GENTRIUS_EXCLUDES(mutex_) {
+    GENTRIUS_DCHECK_LT(tid, workers_);
+    for (;;) {
+      if (done_.load(std::memory_order_acquire) || sink.stop_requested())
+        return false;
+      if (deques_[tid].owner_pop(out)) {
+        note_taken();
+        return true;
+      }
+      if (try_steal(tid, out)) return true;
+      // Nothing anywhere: transition to idle under the signal mutex. The
+      // pending_ re-check under the lock closes the race with a push that
+      // landed between the failed sweep and the lock acquisition.
+      bool i_terminated = false;
+      {
+        support::MutexLock lock(mutex_);
+        if (pending_ > 0) continue;  // late push: stay busy, sweep again
+        GENTRIUS_DCHECK_GT(busy_, 0u);
+        if (--busy_ == 0) {
+          done_.store(true, std::memory_order_release);
+          i_terminated = true;
+        } else {
+          while (!done_.load(std::memory_order_acquire) &&
+                 !sink.stop_requested() && pending_ == 0) {
+            cv_.wait(mutex_);
+          }
+          if (done_.load(std::memory_order_acquire) || sink.stop_requested())
+            return false;  // busy_ stays decremented: this worker is leaving
+          ++busy_;
+        }
+      }
+      if (i_terminated) {
+        cv_.notify_all();
+        return false;
+      }
+    }
+  }
+
+  /// Wakes all parked workers (stopping rule / external stop). Subsequent
+  /// pushes are rejected so producers keep their branches.
+  void broadcast_stop() GENTRIUS_EXCLUDES(mutex_) {
+    {
+      support::MutexLock lock(mutex_);
+      done_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  void wake_all() override { broadcast_stop(); }
+
+  core::SchedulerStats stats() const GENTRIUS_EXCLUDES(mutex_) {
+    core::SchedulerStats s;
+    s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
+    s.steal_attempts = probes_.load(std::memory_order_relaxed);
+    s.failed_steal_probes = failed_probes_.load(std::memory_order_relaxed);
+    for (const StealDeque& d : deques_) {
+      s.queue_full_rejections += d.rejections();
+      s.max_queue_depth =
+          std::max<std::uint64_t>(s.max_queue_depth, d.max_depth());
+    }
+    return s;
+  }
+
+  /// Diagnostics (tests): total tasks currently queued across all deques.
+  std::size_t pending() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    return pending_;
+  }
+
+ private:
+  // Ordering matters: pending_ is incremented *before* the task becomes
+  // visible in the deque, so a thief's note_taken decrement can never
+  // precede the matching increment (pending_ would underflow). The
+  // try_reserve precheck is what makes increment-first safe — the push
+  // after a successful reservation cannot fail, because only the owner
+  // adds tasks to its own deque.
+  bool push_local(std::size_t tid, core::Task& task)
+      GENTRIUS_EXCLUDES(mutex_) {
+    if (done_.load(std::memory_order_acquire)) return false;
+    if (!deques_[tid].try_reserve()) return false;
+    {
+      support::MutexLock lock(mutex_);
+      ++pending_;
+    }
+    const bool pushed = deques_[tid].owner_push(task);
+    GENTRIUS_DCHECK(pushed);
+    static_cast<void>(pushed);
+    cv_.notify_one();
+    return true;
+  }
+
+  bool try_steal(std::size_t tid, core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
+    if (workers_ < 2) return false;
+    const std::size_t start = handles_[tid].selector_.begin_sweep();
+    for (std::size_t k = 0; k < workers_; ++k) {
+      const std::size_t victim = (start + k) % workers_;
+      if (victim == tid) continue;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      if (deques_[victim].steal(out)) {
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+        note_taken();
+        return true;
+      }
+      failed_probes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  void note_taken() GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    GENTRIUS_DCHECK_GT(pending_, 0u);
+    --pending_;
+  }
+
+  const std::size_t workers_;
+  std::deque<StealDeque> deques_;  // StealDeque owns a Mutex: not relocatable
+  std::vector<Handle> handles_;
+
+  mutable support::Mutex mutex_;
+  support::CondVar cv_;
+  std::size_t pending_ GENTRIUS_GUARDED_BY(mutex_) = 0;  // queued tasks, all deques
+  std::size_t busy_ GENTRIUS_GUARDED_BY(mutex_);
+  std::atomic<bool> done_{false};
+
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> failed_probes_{0};
+};
+
+}  // namespace gentrius::parallel

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -37,7 +38,7 @@ inline std::size_t queue_capacity_for(std::size_t n_threads) {
   return n_threads < 8 ? n_threads + 1 : n_threads / 2;
 }
 
-class TaskQueue final : public core::TaskSink {
+class TaskQueue final : public core::TaskSink, public core::StopWaker {
  public:
   /// All `workers` participants start in the busy state.
   TaskQueue(std::size_t capacity, std::size_t workers)
@@ -52,12 +53,17 @@ class TaskQueue final : public core::TaskSink {
     {
       support::MutexLock lock(mutex_);
       GENTRIUS_DCHECK_LE(size_, capacity_);
-      if (done_ || size_ >= capacity_) return false;
+      if (done_) return false;
+      if (size_ >= capacity_) {
+        ++rejections_;
+        return false;
+      }
       core::Task& slot = slots_[(head_ + size_) % capacity_];
       std::swap(slot.path, task.path);
       slot.next_taxon = task.next_taxon;
       std::swap(slot.branches, task.branches);
       ++size_;
+      if (size_ > max_depth_) max_depth_ = size_;
     }
     cv_.notify_one();
     return true;
@@ -90,6 +96,7 @@ class TaskQueue final : public core::TaskSink {
             head_ = (head_ + 1) % capacity_;
             --size_;
             ++busy_;
+            ++pops_;
             got = true;
             break;
           }
@@ -110,10 +117,27 @@ class TaskQueue final : public core::TaskSink {
     cv_.notify_all();
   }
 
+  /// core::StopWaker: the sink calls this from request_stop so consumers
+  /// parked in pop()'s cv_.wait unblock immediately.
+  void wake_all() override { broadcast_stop(); }
+
   /// Diagnostics (tests): current queue occupancy.
   std::size_t size() const GENTRIUS_EXCLUDES(mutex_) {
     support::MutexLock lock(mutex_);
     return size_;
+  }
+
+  /// Scheduler observability. Every hand-off crosses the shared queue, so
+  /// each pop counts as both an attempt and a transfer; the queue has no
+  /// notion of a failed probe (consumers block instead of probing).
+  core::SchedulerStats stats() const GENTRIUS_EXCLUDES(mutex_) {
+    support::MutexLock lock(mutex_);
+    core::SchedulerStats s;
+    s.tasks_stolen = pops_;
+    s.steal_attempts = pops_;
+    s.queue_full_rejections = rejections_;
+    s.max_queue_depth = max_depth_;
+    return s;
   }
 
  private:
@@ -125,6 +149,9 @@ class TaskQueue final : public core::TaskSink {
   std::size_t size_ GENTRIUS_GUARDED_BY(mutex_) = 0;
   std::size_t busy_ GENTRIUS_GUARDED_BY(mutex_);
   bool done_ GENTRIUS_GUARDED_BY(mutex_) = false;
+  std::uint64_t pops_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejections_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  std::size_t max_depth_ GENTRIUS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gentrius::parallel

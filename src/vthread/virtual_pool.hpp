@@ -4,8 +4,10 @@
 // where only one hardware core may be available, so parallel *speedups*
 // cannot be observed from wall-clock time. Instead, this driver executes
 // the identical scheduling policy as src/parallel — N_t workers, the same
-// bounded task queue with the same capacity rule, the same ≥3-remaining-taxa
-// splitting rule, the same batched counter publication — as a deterministic
+// scheduler selected by Options::scheduler (the paper's bounded central
+// queue with its capacity rule, or the distributed per-worker steal deques
+// with seeded victim selection), the same ≥3-remaining-taxa splitting rule,
+// the same batched counter publication — as a deterministic
 // discrete-event simulation: each worker has a virtual clock, the globally
 // earliest runnable worker is stepped, and every operation is charged from
 // an explicit cost model. Load imbalance, speedup plateaus, stopping-rule
@@ -37,6 +39,24 @@ struct CostModel {
   double rewind_cost = 0.05;  ///< per removal returning to I0
   double queue_cost = 0.5;    ///< one queue push or pop (critical section)
   double spawn_cost = 200.0;  ///< per-thread creation/teardown (N_t > 1 only)
+
+  // Distributed-scheduler terms (Options::Scheduler::kDistributedDeques).
+  // Lock operations are modeled as serial resources: an operation on a lock
+  // begins no earlier than the lock's previous release, so the central
+  // queue's single lock saturates under aggregate hand-off demand while the
+  // per-deque locks only serialize the owner/thief pairs that actually
+  // collide — the contention asymmetry the scheduler exists to exploit.
+  double steal_attempt_cost = 0.05;  ///< probing one victim deque
+  double failed_probe_cost = 0.02;   ///< surcharge when the probe found nothing
+  double deque_lock_cost = 0.5;      ///< one deque push/pop/steal critical section
+  /// Per-op surcharge on the central queue's mutex for each *additional*
+  /// worker sharing it (same shape as flush_contention): hand-off of a
+  /// contended cache line costs roughly linearly in the number of cores
+  /// bouncing it, so a lock shared by 48 workers is far more expensive per
+  /// acquisition than an uncontended one. The per-worker deques do not pay
+  /// this term — each deque is shared by its owner plus at most one thief
+  /// at a time, which the flat deque_lock_cost already represents.
+  double queue_contention = 0.15;
   /// Atomic counter publication: a few hundred ns = a few percent of a state
   /// expansion (paper §III-B cites [18]: up to a few thousand cycles).
   double flush_cost = 0.02;

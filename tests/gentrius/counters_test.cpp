@@ -79,5 +79,92 @@ TEST(LocalCounters, BatchZeroBehavesAsOne) {
   EXPECT_EQ(sink.stand_trees(), 1u);
 }
 
+TEST(LocalCounters, DefaultPeriodChecksTimeEveryFlush) {
+  // The documented granularity: one clock read per flush, any flush site.
+  CounterSink sink({});
+  LocalCounters local(sink, /*tree=*/1, /*state=*/1, /*dead=*/1);
+  for (int i = 0; i < 3; ++i) local.count_state();
+  local.count_stand_tree();
+  local.count_dead_end();
+  EXPECT_EQ(local.flush_count(), 5u);
+  EXPECT_EQ(sink.time_checks(), 5u);
+}
+
+TEST(LocalCounters, TimeCheckPeriodThrottlesClockReads) {
+  // Period K: the clock is read only on every K-th flush, across all three
+  // flush sites combined. Counter totals and flush counts are unchanged.
+  CounterSink sink({});
+  LocalCounters local(sink, 1, 1, 1, /*time_check_period=*/3);
+  for (int i = 0; i < 7; ++i) local.count_state();  // flushes 1..7
+  EXPECT_EQ(local.flush_count(), 7u);
+  EXPECT_EQ(sink.time_checks(), 2u);  // on flush 3 and flush 6
+  EXPECT_EQ(sink.states(), 7u);       // publication itself is untouched
+  local.count_stand_tree();
+  local.count_dead_end();  // flush 9: third check
+  EXPECT_EQ(sink.time_checks(), 3u);
+}
+
+TEST(LocalCounters, ThrottledTimeRuleStillFires) {
+  StoppingRules rules;
+  rules.max_seconds = 0.0;  // an expired clock: first read must stop the run
+  CounterSink sink(rules);
+  LocalCounters local(sink, 1, 1, 1, /*time_check_period=*/4);
+  for (int i = 0; i < 3; ++i) {
+    local.count_state();
+    EXPECT_FALSE(sink.stop_requested()) << "flush " << i + 1;
+  }
+  local.count_state();  // 4th flush reads the clock
+  EXPECT_TRUE(sink.stop_requested());
+  EXPECT_EQ(sink.reason(), StopReason::kTimeLimit);
+}
+
+TEST(LocalCounters, TimeCheckPeriodZeroBehavesAsOne) {
+  CounterSink sink({});
+  LocalCounters local(sink, 1, 1, 1, /*time_check_period=*/0);
+  local.count_state();
+  EXPECT_EQ(sink.time_checks(), 1u);
+}
+
+namespace {
+class CountingWaker final : public StopWaker {
+ public:
+  void wake_all() override { ++calls; }
+  int calls = 0;
+};
+}  // namespace
+
+TEST(CounterSink, RequestStopInvokesRegisteredWaker) {
+  CounterSink sink({});
+  CountingWaker waker;
+  sink.set_stop_waker(&waker);
+  sink.request_stop(StopReason::kTreeLimit);
+  EXPECT_EQ(waker.calls, 1);
+  sink.request_stop(StopReason::kStateLimit);  // repeated stops re-wake
+  EXPECT_EQ(waker.calls, 2);
+  EXPECT_EQ(sink.reason(), StopReason::kTreeLimit);  // first reason kept
+}
+
+TEST(CounterSink, ClearedWakerIsNotInvoked) {
+  CounterSink sink({});
+  CountingWaker waker;
+  sink.set_stop_waker(&waker);
+  sink.set_stop_waker(nullptr);
+  sink.request_stop(StopReason::kTreeLimit);
+  EXPECT_EQ(waker.calls, 0);
+}
+
+TEST(CounterSink, StoppingRuleCrossingFiresWaker) {
+  // The satellite regression: a limit crossed via a counter flush must ring
+  // the waker so parked consumers unblock without a second stop observer.
+  StoppingRules rules;
+  rules.max_states = 10;
+  CounterSink sink(rules);
+  CountingWaker waker;
+  sink.set_stop_waker(&waker);
+  sink.add_states(10);
+  EXPECT_TRUE(sink.stop_requested());
+  EXPECT_EQ(waker.calls, 1);
+}
+
 }  // namespace
 }  // namespace gentrius::core

@@ -249,6 +249,26 @@ std::string build_report() {
       out << "  pool nt=" << nt << " trees " << r.stand_trees
           << " stand_hash " << stand_set_hash(r.trees) << "\n";
     }
+
+    // 5/6. The distributed scheduler implements the same decomposition, so
+    // its counts and stand sets are pinned to the same values — virtual
+    // runs deterministically, real pools by totals.
+    {
+      Options dopts = opts;
+      dopts.scheduler = Scheduler::kDistributedDeques;
+      for (const std::size_t nt : {2UL, 4UL, 8UL}) {
+        const auto r = vthread::run_virtual(problem, dopts, nt);
+        out << "  virtual-deques nt=" << nt << " states "
+            << r.intermediate_states << " trees " << r.stand_trees
+            << " dead_ends " << r.dead_ends << " stand_hash "
+            << stand_set_hash(r.trees) << "\n";
+      }
+      for (const std::size_t nt : {2UL, 4UL}) {
+        const auto r = parallel::run_parallel(problem, dopts, nt);
+        out << "  pool-deques nt=" << nt << " trees " << r.stand_trees
+            << " stand_hash " << stand_set_hash(r.trees) << "\n";
+      }
+    }
   }
   return out.str();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "gentrius/counters.hpp"
+#include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
 
 namespace gentrius::parallel {
@@ -164,6 +165,101 @@ TEST(RaceStress, SelfDrainingPoolWithReoffers) {
     for (auto& t : threads) t.join();
     EXPECT_EQ(consumed.load(), accepted.load());
     EXPECT_EQ(queue.size(), 0u) << "pool terminated with tasks still queued";
+  }
+}
+
+// --- deque scheduler: owner pushes racing concurrent steals ----------------
+//
+// The distributed scheduler's narrow window: owners push/pop their own ring
+// at the tail while thieves take from the head, with termination detected
+// by the busy count. Every accepted task must be consumed exactly once and
+// the pool must terminate itself with all deques empty, on every schedule.
+TEST(RaceStress, DequeSelfDrainingPoolWithReoffers) {
+  constexpr int kRounds = 20;
+  constexpr std::size_t kWorkers = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    core::CounterSink sink({});
+    DequeScheduler sched(kWorkers, /*steal_seed=*/static_cast<std::uint64_t>(round));
+    std::atomic<int> consumed{0};
+    std::atomic<int> accepted{0};
+
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&, w] {
+        core::TaskSink* sink_w = sched.sink_for(w);
+        // Seed the own deque while "busy" (more offers than its capacity,
+        // so the rejection path is exercised too), then drain; every fifth
+        // consumed task re-offers a child that spawns no more work.
+        for (int i = 0; i < 40; ++i) {
+          core::Task t = make_task(static_cast<int>(w) * 1000 + i + 2);
+          if (sink_w->try_push(t))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        core::Task task;
+        while (sched.acquire(w, sink, task)) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          core::Task child = make_task(1);
+          if (task.next_taxon % 5 == 0 && sink_w->try_push(child))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(consumed.load(), accepted.load());
+    EXPECT_EQ(sched.pending(), 0u) << "pool terminated with tasks queued";
+    const auto stats = sched.stats();
+    EXPECT_LE(stats.tasks_stolen, static_cast<std::uint64_t>(accepted.load()));
+    EXPECT_LE(stats.tasks_stolen, stats.steal_attempts);
+  }
+}
+
+// --- deque scheduler: steal storm racing broadcast_stop --------------------
+//
+// Mirrors PushStormVersusBroadcastStop on the distributed scheduler: the
+// stop must release parked thieves, reject subsequent pushes, and never
+// duplicate a hand-off.
+TEST(RaceStress, DequeStealStormVersusBroadcastStop) {
+  constexpr int kRounds = 40;
+  constexpr std::size_t kWorkers = 4;
+
+  for (int round = 0; round < kRounds; ++round) {
+    core::CounterSink sink({});
+    DequeScheduler sched(kWorkers, /*steal_seed=*/7);
+    std::atomic<int> consumed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> quit{false};
+
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&, w] {
+        core::TaskSink* sink_w = sched.sink_for(w);
+        int tag = static_cast<int>(w) * 10000;
+        // Interleave pushing and acquiring until the stop lands.
+        while (!quit.load(std::memory_order_acquire)) {
+          core::Task t = make_task(tag++);
+          if (sink_w->try_push(t))
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+          if (sink.stop_requested()) break;
+        }
+        core::Task task;
+        while (sched.acquire(w, sink, task))
+          consumed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+
+    for (int spin = 0; spin < 100 * (round % 7 + 1); ++spin)
+      std::this_thread::yield();
+    sink.request_stop(core::StopReason::kTreeLimit);
+    sched.broadcast_stop();
+    quit.store(true, std::memory_order_release);
+
+    for (auto& t : threads) t.join();
+
+    EXPECT_LE(consumed.load(), accepted.load());
+    core::Task late = make_task(-1);
+    EXPECT_FALSE(sched.sink_for(0)->try_push(late))
+        << "scheduler must stay terminated after broadcast_stop";
   }
 }
 

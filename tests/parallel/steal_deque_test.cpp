@@ -1,0 +1,195 @@
+// Unit tests for the distributed scheduler's building blocks: StealDeque
+// ring semantics (owner LIFO / thief FIFO, capacity rejection, stats),
+// DequeScheduler termination and stop handling, and the stop-wake
+// regression — a consumer parked inside either scheduler must unblock
+// promptly when CounterSink::request_stop fires from another thread,
+// without anyone calling broadcast_stop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "parallel/steal_deque.hpp"
+#include "parallel/task_queue.hpp"
+
+namespace gentrius::parallel {
+namespace {
+
+core::Task make_task(int tag) {
+  core::Task t;
+  t.next_taxon = static_cast<core::TaxonId>(tag);
+  return t;
+}
+
+bool push(StealDeque& d, core::Task t) { return d.owner_push(t); }
+
+int tag_of(const core::Task& t) { return static_cast<int>(t.next_taxon); }
+
+TEST(StealDeque, OwnerPopsLifoThievesStealFifo) {
+  StealDeque d(4);
+  ASSERT_TRUE(push(d, make_task(1)));
+  ASSERT_TRUE(push(d, make_task(2)));
+  ASSERT_TRUE(push(d, make_task(3)));
+  core::Task out;
+  ASSERT_TRUE(d.owner_pop(out));
+  EXPECT_EQ(tag_of(out), 3);  // newest first for the owner
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_EQ(tag_of(out), 1);  // oldest first for a thief
+  ASSERT_TRUE(d.owner_pop(out));
+  EXPECT_EQ(tag_of(out), 2);
+  EXPECT_FALSE(d.owner_pop(out));
+  EXPECT_FALSE(d.steal(out));
+}
+
+TEST(StealDeque, RejectsWhenFullAndCountsRejections) {
+  StealDeque d(2);
+  EXPECT_TRUE(push(d, make_task(1)));
+  EXPECT_TRUE(push(d, make_task(2)));
+  EXPECT_FALSE(push(d, make_task(3)));
+  EXPECT_FALSE(push(d, make_task(4)));
+  EXPECT_EQ(d.rejections(), 2u);
+  EXPECT_EQ(d.max_depth(), 2u);
+  core::Task out;
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_TRUE(push(d, make_task(5)));  // capacity freed by the steal
+  EXPECT_EQ(d.rejections(), 2u);
+}
+
+TEST(StealDeque, TryReserveCountsButDoesNotConsume) {
+  StealDeque d(1);
+  EXPECT_TRUE(d.try_reserve());
+  EXPECT_TRUE(d.try_reserve());  // a reservation holds no slot
+  ASSERT_TRUE(push(d, make_task(1)));
+  EXPECT_FALSE(d.try_reserve());
+  EXPECT_EQ(d.rejections(), 1u);
+}
+
+TEST(StealDeque, RingWrapsAcrossManyHandoffs) {
+  StealDeque d(3);
+  core::Task out;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(push(d, make_task(2 * i)));
+    ASSERT_TRUE(push(d, make_task(2 * i + 1)));
+    ASSERT_TRUE(d.steal(out));
+    EXPECT_EQ(tag_of(out), 2 * i);
+    ASSERT_TRUE(d.owner_pop(out));
+    EXPECT_EQ(tag_of(out), 2 * i + 1);
+  }
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.max_depth(), 2u);
+}
+
+TEST(DequeScheduler, PerWorkerCapacityBeatsTheCentralRuleAtScale) {
+  // The structural headroom argument for the scheduler: at 48 threads the
+  // central queue holds 24 tasks in total, the deques 8 per worker.
+  EXPECT_EQ(queue_capacity_for(48), 24u);
+  EXPECT_EQ(steal_deque_capacity_for(48) * 48, 384u);
+}
+
+TEST(DequeScheduler, SingleWorkerTerminatesImmediately) {
+  core::CounterSink sink({});
+  DequeScheduler sched(1, /*steal_seed=*/1);
+  core::Task out;
+  EXPECT_FALSE(sched.acquire(0, sink, out));
+}
+
+TEST(DequeScheduler, OwnerDrainsOwnDequeBeforeTermination) {
+  core::CounterSink sink({});
+  DequeScheduler sched(1, 1);
+  core::Task t = make_task(7);
+  ASSERT_TRUE(sched.sink_for(0)->try_push(t));
+  core::Task out;
+  ASSERT_TRUE(sched.acquire(0, sink, out));
+  EXPECT_EQ(tag_of(out), 7);
+  EXPECT_FALSE(sched.acquire(0, sink, out));  // drained: terminates
+  const auto s = sched.stats();
+  EXPECT_EQ(s.tasks_stolen, 0u);  // an own-pop is not a steal
+  EXPECT_EQ(s.max_queue_depth, 1u);
+}
+
+TEST(DequeScheduler, ThiefStealsAcrossWorkersAndPoolTerminates) {
+  core::CounterSink sink({});
+  DequeScheduler sched(2, 1);
+  // Worker 0 offers two tasks, then both workers drain to termination.
+  for (int i = 0; i < 2; ++i) {
+    core::Task t = make_task(i);
+    ASSERT_TRUE(sched.sink_for(0)->try_push(t));
+  }
+  std::atomic<int> taken{0};
+  std::vector<std::thread> threads;
+  for (std::size_t tid = 0; tid < 2; ++tid) {
+    threads.emplace_back([&, tid] {
+      core::Task out;
+      while (sched.acquire(tid, sink, out)) ++taken;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(taken.load(), 2);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(DequeScheduler, PushRejectedAfterStop) {
+  core::CounterSink sink({});
+  DequeScheduler sched(2, 1);
+  sched.broadcast_stop();
+  core::Task t = make_task(1);
+  EXPECT_FALSE(sched.sink_for(0)->try_push(t));
+  core::Task out;
+  EXPECT_FALSE(sched.acquire(0, sink, out));
+}
+
+// --- stop-wake latency regression ------------------------------------------
+//
+// Before the StopWaker hook, CounterSink::request_stop only raised a flag;
+// a consumer parked in a scheduler's condition-variable wait stayed parked
+// until some *other* worker observed the flag and called broadcast_stop.
+// With the waker registered, the stop itself must unpark the consumer.
+// The 5 s ceiling is three orders of magnitude above a healthy wake-up; the
+// old behavior hangs here forever (no second worker ever broadcasts).
+template <typename Scheduler, typename BlockedPop>
+void expect_prompt_stop_wake(Scheduler& sched, core::CounterSink& sink,
+                             BlockedPop blocked_pop) {
+  sink.set_stop_waker(&sched);
+  std::atomic<bool> released{false};
+  std::thread consumer([&] {
+    blocked_pop();
+    released.store(true, std::memory_order_release);
+  });
+  // Let the consumer reach the parked state, then stop WITHOUT broadcast.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(released.load(std::memory_order_acquire));
+  sink.request_stop(core::StopReason::kTreeLimit);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!released.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(released.load(std::memory_order_acquire))
+      << "consumer still parked 5 s after request_stop";
+  consumer.join();
+  sink.set_stop_waker(nullptr);
+}
+
+TEST(StopWake, RequestStopUnparksCentralQueueConsumer) {
+  core::CounterSink sink({});
+  TaskQueue queue(4, /*workers=*/2);  // 1 busy worker remains: pop blocks
+  expect_prompt_stop_wake(queue, sink, [&] {
+    core::Task t;
+    EXPECT_FALSE(queue.pop(sink, t));
+  });
+}
+
+TEST(StopWake, RequestStopUnparksDequeSchedulerConsumer) {
+  core::CounterSink sink({});
+  DequeScheduler sched(2, /*steal_seed=*/1);  // worker 1 never arrives
+  expect_prompt_stop_wake(sched, sink, [&] {
+    core::Task t;
+    EXPECT_FALSE(sched.acquire(0, sink, t));
+  });
+}
+
+}  // namespace
+}  // namespace gentrius::parallel

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Benchmark regression harness: runs the engine micro-benchmarks and emits
-a machine-readable BENCH_4.json so the perf trajectory is comparable across
+a machine-readable BENCH_5.json so the perf trajectory is comparable across
 PRs.
 
 What it runs (from a Release build tree):
@@ -9,25 +9,37 @@ What it runs (from a Release build tree):
     task-replay throughput, full-state-expansion latency.
   * bench/bench_mapping_update (plain text) — the share of runtime the
     incremental mapping scheme avoids vs full per-state recomputation.
+  * bench/bench_work_stealing_ablation --schedulers (with --schedulers) —
+    the central-queue vs distributed-deques sweep under the virtual-time
+    simulator at N_t in {1,2,4,8,16,32,48,96}. Virtual time is
+    deterministic, so these numbers are exact across machines and gate
+    tightly.
 
-Output schema (BENCH_4.json):
+Output schema (BENCH_5.json):
   {
-    "schema": "gentrius-bench-4",
+    "schema": "gentrius-bench-5",
     "baseline": {...},            # pinned pre-PR-4 reference numbers
     "micro_engine": {name: {"real_time_ns", "items_per_second",
                             "states_per_sec"}},
     "mapping_update": {"mean_share_percent": float | null},
+    "scheduler_sweep": {"instance": str, "serial_makespan": float,
+                        "central" | "distributed":
+                            {nt: {"makespan", "speedup", ...}}} | null,
     "derived": {"multi_constraint_states_per_sec", "per_state_ns",
-                "speedup_vs_baseline"}
+                "speedup_vs_baseline",
+                "distributed_over_central_speedup_at_48",
+                "max_scheduler_mismatch_percent_at_low_nt"}
   }
 
 Typical use:
-  python3 tools/run_benchmarks.py --build-dir build-bench
+  python3 tools/run_benchmarks.py --build-dir build-bench --schedulers
   python3 tools/run_benchmarks.py --min-time 0.1 --mapping-scale 0.2 \
-      --check-against bench/BENCH_4.baseline.json   # CI smoke mode
+      --schedulers --check-against BENCH_5.json       # CI smoke mode
 
---check-against compares the fresh multi-constraint states/s against the
-checked-in baseline and exits non-zero on a >2x regression (the CI gate).
+--check-against compares the fresh multi-constraint states/s (and, when
+both reports carry a scheduler sweep, the distributed speedup at N_t = 48)
+against the checked-in baseline and exits non-zero on a >2x regression
+(the CI gate).
 """
 
 from __future__ import annotations
@@ -102,11 +114,92 @@ def run_mapping_update(build_dir: pathlib.Path, scale: float) -> dict:
     }
 
 
+SCHED_LINE = re.compile(
+    r"^SCHED scheduler=(\w+) nt=(\d+) makespan=([0-9.]+) speedup=([0-9.]+) "
+    r"tasks_offered=(\d+) tasks_stolen=(\d+) steal_attempts=(\d+) "
+    r"failed_probes=(\d+) rejections=(\d+) max_depth=(\d+)")
+SCHED_SERIAL = re.compile(
+    r"^SCHED serial makespan=([0-9.]+) states=(\d+) trees=(\d+) "
+    r"reason=(\S+)")
+SCHED_INSTANCE = re.compile(r"^instance (\S.*)$", re.MULTILINE)
+
+
+def run_scheduler_sweep(build_dir: pathlib.Path) -> dict:
+    exe = build_dir / "bench" / "bench_work_stealing_ablation"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found - build the bench targets first "
+                 f"(cmake --build {build_dir} "
+                 f"--target bench_work_stealing_ablation)")
+    cmd = [str(exe), "--schedulers"]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    sweep: dict = {"central": {}, "distributed": {}}
+    im = SCHED_INSTANCE.search(proc.stdout)
+    if im:
+        sweep["instance"] = im.group(1)
+    for line in proc.stdout.splitlines():
+        sm = SCHED_SERIAL.match(line)
+        if sm:
+            sweep["serial_makespan"] = float(sm.group(1))
+            sweep["serial_states"] = int(sm.group(2))
+            sweep["serial_trees"] = int(sm.group(3))
+            sweep["serial_reason"] = sm.group(4)
+            continue
+        m = SCHED_LINE.match(line)
+        if not m:
+            continue
+        sweep[m.group(1)][m.group(2)] = {
+            "makespan": float(m.group(3)),
+            "speedup": float(m.group(4)),
+            "tasks_offered": int(m.group(5)),
+            "tasks_stolen": int(m.group(6)),
+            "steal_attempts": int(m.group(7)),
+            "failed_probes": int(m.group(8)),
+            "rejections": int(m.group(9)),
+            "max_depth": int(m.group(10)),
+        }
+    if not sweep["central"] or not sweep["distributed"]:
+        sys.exit("error: no SCHED lines parsed from "
+                 "bench_work_stealing_ablation --schedulers")
+    return sweep
+
+
+def sweep_derived(sweep: dict) -> dict:
+    """Per-N_t speedup comparison plus the two headline figures."""
+    out: dict = {}
+    central, dist = sweep["central"], sweep["distributed"]
+    c48 = central.get("48", {}).get("speedup")
+    d48 = dist.get("48", {}).get("speedup")
+    if c48 and d48:
+        out["distributed_over_central_speedup_at_48"] = d48 / c48
+    mismatches = []
+    for nt in ("1", "2", "4"):
+        c = central.get(nt, {}).get("speedup")
+        d = dist.get(nt, {}).get("speedup")
+        if c and d:
+            mismatches.append(abs(d - c) / c * 100.0)
+    if mismatches:
+        out["max_scheduler_mismatch_percent_at_low_nt"] = max(mismatches)
+    return out
+
+
+def print_sweep_table(sweep: dict) -> None:
+    nts = sorted(set(sweep["central"]) | set(sweep["distributed"]), key=int)
+    print(f"scheduler sweep ({sweep.get('instance', '?')}):")
+    print(f"  {'nt':>4} {'central':>9} {'distributed':>12} {'ratio':>7}")
+    for nt in nts:
+        c = sweep["central"].get(nt, {}).get("speedup")
+        d = sweep["distributed"].get(nt, {}).get("speedup")
+        ratio = f"{d / c:7.3f}" if c and d else "      -"
+        print(f"  {nt:>4} {c or float('nan'):9.2f} "
+              f"{d or float('nan'):12.2f} {ratio}")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build-bench", type=pathlib.Path,
                     help="Release build tree containing bench/ binaries")
-    ap.add_argument("--output", default="BENCH_4.json", type=pathlib.Path)
+    ap.add_argument("--output", default="BENCH_5.json", type=pathlib.Path)
     ap.add_argument("--min-time", type=float, default=None,
                     help="google-benchmark per-benchmark min time, seconds "
                          "(default: library default; use 0.1 for CI smoke)")
@@ -116,17 +209,21 @@ def main() -> int:
                          "(0.2 keeps the CI smoke run short)")
     ap.add_argument("--skip-mapping-update", action="store_true",
                     help="only run bench_micro_engine")
+    ap.add_argument("--schedulers", action="store_true",
+                    help="also run the central vs distributed scheduler "
+                         "sweep (bench_work_stealing_ablation --schedulers)")
     ap.add_argument("--check-against", type=pathlib.Path, default=None,
-                    help="baseline BENCH_4.json; exit non-zero when the "
-                         "multi-constraint states/s regressed by more than "
-                         "--max-regression vs it")
+                    help="baseline BENCH_5.json; exit non-zero when the "
+                         "multi-constraint states/s (or the distributed "
+                         "speedup at N_t=48, when both reports have a "
+                         "sweep) regressed by more than --max-regression")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="regression factor that fails --check-against "
                          "(default 2.0 = fail when less than half as fast)")
     args = ap.parse_args()
 
     report = {
-        "schema": "gentrius-bench-4",
+        "schema": "gentrius-bench-5",
         "generated_by": "tools/run_benchmarks.py",
         "build_dir": str(args.build_dir),
         "baseline": {
@@ -141,6 +238,8 @@ def main() -> int:
         "mapping_update": (None if args.skip_mapping_update else
                            run_mapping_update(args.build_dir,
                                               args.mapping_scale)),
+        "scheduler_sweep": (run_scheduler_sweep(args.build_dir)
+                            if args.schedulers else None),
     }
 
     derived = {}
@@ -151,6 +250,8 @@ def main() -> int:
         derived["per_state_ns"] = 1e9 / sps
         derived["speedup_vs_baseline"] = (
             sps / PRE_PR4_MULTI_CONSTRAINT_STATES_PER_SEC)
+    if report["scheduler_sweep"]:
+        derived.update(sweep_derived(report["scheduler_sweep"]))
     report["derived"] = derived
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -159,6 +260,11 @@ def main() -> int:
         print(f"multi-constraint: {sps:,.0f} states/s "
               f"({derived['per_state_ns']:.1f} ns/state, "
               f"{derived['speedup_vs_baseline']:.2f}x vs pre-PR baseline)")
+    if report["scheduler_sweep"]:
+        print_sweep_table(report["scheduler_sweep"])
+        ratio = derived.get("distributed_over_central_speedup_at_48")
+        if ratio:
+            print(f"distributed/central speedup at nt=48: {ratio:.3f}x")
 
     if args.check_against is not None:
         base = json.loads(args.check_against.read_text())
@@ -175,6 +281,20 @@ def main() -> int:
               f"(floor {floor:,.0f}): {verdict}")
         if sps < floor:
             return 1
+        base_sweep = base.get("scheduler_sweep")
+        if report["scheduler_sweep"] and base_sweep:
+            base_d48 = (base_sweep.get("distributed", {})
+                        .get("48", {}).get("speedup"))
+            d48 = (report["scheduler_sweep"]["distributed"]
+                   .get("48", {}).get("speedup"))
+            if base_d48 and d48:
+                floor = base_d48 / args.max_regression
+                verdict = "OK" if d48 >= floor else "REGRESSION"
+                print(f"scheduler check: distributed@48 {d48:.2f}x vs "
+                      f"baseline {base_d48:.2f}x (floor {floor:.2f}x): "
+                      f"{verdict}")
+                if d48 < floor:
+                    return 1
     return 0
 
 
