@@ -11,15 +11,35 @@
 // The difference isolates the mapping-maintenance share of runtime. It is
 // largest on many-locus datasets, where most constraints are active at any
 // state; the measured share bounds what the paper's redesign can save.
+//
+// Each regime is timed over several interleaved repetitions and the share
+// is computed from the medians: single wall-clock runs on a shared host
+// were observed to move the reported share by >5 percentage points run to
+// run (docs/PERFORMANCE.md §4 post-mortem), drowning real changes.
+// argv: [scale] [repetitions] (defaults 1.0 and 3).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "benchutil/corpus.hpp"
 #include "gentrius/serial.hpp"
 #include "support/rng.hpp"
 
+namespace {
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace gentrius;
   const double scale = benchutil::parse_scale(argc, argv);
+  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
 
   core::Options incremental;
   incremental.stop.max_stand_trees = 300'000;
@@ -55,22 +75,33 @@ int main(int argc, char** argv) {
          a.reason != core::StopReason::kTreeLimit) ||
         a.intermediate_states < 15'000)
       continue;
-    const auto b = core::run_serial(ds.constraints, recompute);
-    if (b.intermediate_states != a.intermediate_states) {
-      std::printf("%-22s COUNT MISMATCH\n", ds.name.c_str());
-      return 1;
+    // Interleave the regimes so slow host phases hit both medians alike.
+    std::vector<double> ta, tb;
+    ta.push_back(a.seconds);
+    for (int r = 0; r < reps; ++r) {
+      const auto b = core::run_serial(ds.constraints, recompute);
+      if (b.intermediate_states != a.intermediate_states) {
+        std::printf("%-22s COUNT MISMATCH\n", ds.name.c_str());
+        return 1;
+      }
+      tb.push_back(b.seconds);
+      if (static_cast<int>(ta.size()) < reps)
+        ta.push_back(core::run_serial(ds.constraints, incremental).seconds);
     }
-    const double share = 100.0 * (b.seconds - a.seconds) / b.seconds;
+    const double ma = median_of(ta);
+    const double mb = median_of(tb);
+    const double share = 100.0 * (mb - ma) / mb;
     std::printf("%-22s %5zu %8llu %11.3fs %11.3fs %12.1f%%\n",
                 ds.name.c_str(), ds.constraints.size(),
                 static_cast<unsigned long long>(a.intermediate_states),
-                a.seconds, b.seconds, share);
+                ma, mb, share);
     share_sum += share;
     ++shown;
   }
   if (shown)
     std::printf(
-        "\nmean share of runtime the incremental scheme avoids: %.1f%%\n",
-        share_sum / static_cast<double>(shown));
+        "\nmean share of runtime the incremental scheme avoids: %.1f%%"
+        " (medians of %d runs per regime)\n",
+        share_sum / static_cast<double>(shown), reps);
   return 0;
 }

@@ -18,10 +18,20 @@ std::size_t pow2_at_least(std::size_t n) {
 }  // namespace
 
 Terrace::Terrace(const Problem& problem, bool incremental)
-    : problem_(&problem),
+    : arena_(std::make_shared<support::Arena>()),
+      problem_(&problem),
       agile_(problem.constraints[problem.initial_constraint]),
       inserted_(problem.n_taxa),
-      incremental_(incremental) {
+      incremental_(incremental),
+      slot_map_(64, arena_),
+      journal_(support::ArenaAllocator<MutEvent>(arena_)),
+      xorv_(support::ArenaAllocator<std::uint64_t>(arena_)),
+      cnt_(support::ArenaAllocator<std::uint32_t>(arena_)),
+      ctxk_(support::ArenaAllocator<std::uint64_t>(arena_)),
+      ctxs_(support::ArenaAllocator<std::uint32_t>(arena_)),
+      scratch_js_(support::ArenaAllocator<std::uint32_t>(arena_)),
+      scratch_eslot_(support::ArenaAllocator<const std::uint32_t*>(arena_)),
+      scratch_target_(support::ArenaAllocator<std::uint32_t>(arena_)) {
   agile_.reserve_for_leaves(problem.all_taxa.count());
 
   for (const TaxonId t : agile_.taxa()) inserted_.set(t);
@@ -60,22 +70,28 @@ Terrace::Terrace(const Problem& problem, bool incremental)
   max_edges_ = n_total < 2 ? 1 : 2 * n_total;  // capacity bound
   // Per-constraint mapping storage stays empty until the constraint first
   // activates (ensure_constraint_storage); only the outer vectors are paid
-  // up front.
-  edge_slot_.resize(m);
-  target_slot_.resize(m);
-  slot_count_.resize(m);
-  slot_head_.resize(m);
-  link_next_.resize(m);
-  link_prev_.resize(m);
+  // up front. The inner vectors carry the arena allocator from day one, so
+  // activation carves all six arrays out of one contiguous arena region.
+  edge_slot_.assign(m, AVec<std::uint32_t>(
+                           support::ArenaAllocator<std::uint32_t>(arena_)));
+  target_slot_.assign(m, AVec<std::uint32_t>(
+                             support::ArenaAllocator<std::uint32_t>(arena_)));
+  slot_count_.assign(m, AVec<std::uint32_t>(
+                            support::ArenaAllocator<std::uint32_t>(arena_)));
+  slot_head_.assign(m, AVec<EdgeId>(support::ArenaAllocator<EdgeId>(arena_)));
+  link_next_.assign(m, AVec<EdgeId>(support::ArenaAllocator<EdgeId>(arena_)));
+  link_prev_.assign(m, AVec<EdgeId>(support::ArenaAllocator<EdgeId>(arena_)));
   n_slots_.assign(m, 0);
   ctrav_.resize(m);
-  target_key_.resize(m);
+  target_key_.assign(m, AVec<std::uint64_t>(
+                            support::ArenaAllocator<std::uint64_t>(arena_)));
   have_target_keys_.assign(m, 0);
   cdelta_.resize(m);
 
   cached_count_.assign(problem.n_taxa, 0);
   cache_mut_.assign(problem.n_taxa, 0);
   cache_valid_.assign(problem.n_taxa, 0);
+  common_scratch_.resize(problem.n_taxa);
   edge_gen_.assign(max_edges_, 0);
   // Ring must comfortably hold one full DFS path of insert events plus the
   // backtracking churn between two evaluations of the same taxon.
@@ -84,10 +100,10 @@ Terrace::Terrace(const Problem& problem, bool incremental)
   std::size_t max_vertices = 2 * n_total;  // agile bound
   for (const auto& t : problem.constraints)
     max_vertices = std::max(max_vertices, t.vertex_capacity() + 1);
-  cnt_.resize(max_vertices);
   xorv_.resize(max_vertices);
-  ctx_.resize(max_vertices);
-  ctx_slot_.resize(max_vertices);
+  cnt_.resize(max_vertices);
+  ctxk_.resize(max_vertices);
+  ctxs_.resize(max_vertices);
   trav_stack_.reserve(max_vertices);
 }
 
@@ -168,13 +184,16 @@ InsertRecord Terrace::insert(TaxonId x, EdgeId e) {
     --remaining_in_[i];
     dirty_[i] = 1;  // the common taxon set of T_i changed
     dirty_mut_[i] = ev;
-    if (incremental_) {
-      auto& d = cdelta_[i];
-      if (!d.empty() && d.back() == -tok)
-        d.pop_back();  // cancels the matching remove: net C_i change is nil
-      else
-        d.push_back(tok);
-    }
+    // The C_i ledger is maintained in both modes: recompute-mode rebuilds
+    // also elide the constraint-side DFS when the net common set is
+    // unchanged — for them that is the dominant case, since every
+    // constraint rebuilds per state but only the inserted taxon's trees
+    // actually change.
+    auto& d = cdelta_[i];
+    if (!d.empty() && d.back() == -tok)
+      d.pop_back();  // cancels the matching remove: net C_i change is nil
+    else
+      d.push_back(tok);
   }
   if (!incremental_) {
     for (std::size_t i = 0; i < dirty_.size(); ++i) {
@@ -220,13 +239,11 @@ void Terrace::remove(const InsertRecord& rec) {
     ++remaining_in_[i];
     dirty_[i] = 1;
     dirty_mut_[i] = ev;
-    if (incremental_) {
-      auto& d = cdelta_[i];
-      if (!d.empty() && d.back() == tok)
-        d.pop_back();
-      else
-        d.push_back(-tok);
-    }
+    auto& d = cdelta_[i];
+    if (!d.empty() && d.back() == tok)
+      d.pop_back();
+    else
+      d.push_back(-tok);
   }
   if (!incremental_) {
     for (std::size_t i = 0; i < dirty_.size(); ++i) {
@@ -270,11 +287,10 @@ void Terrace::build_traversal(const phylo::Tree& tree, TaxonId root,
   while (!trav_stack_.empty()) {
     const TravItem it = trav_stack_.back();
     trav_stack_.pop_back();
-    const std::uint32_t pos =
-        static_cast<std::uint32_t>(out.parent_pos.size());
+    const std::uint32_t pos = static_cast<std::uint32_t>(out.parent_pos.size());
+    const auto& vx = tree.vertex(it.v);
     out.parent_pos.push_back(it.parent_pos);
     out.edge.push_back(it.pedge);
-    const auto& vx = tree.vertex(it.v);
     out.taxon.push_back(vx.taxon);
     for (std::uint8_t a = 0; a < vx.degree; ++a) {
       if (vx.adj[a].edge == it.pedge) continue;  // back-edge to parent
@@ -287,6 +303,12 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
   ensure_constraint_storage(i);
   const auto& y = problem_->constraint_taxa[i];
   const auto& keys = problem_->taxon_keys;
+  // Materialize C_i = Y_i ∩ inserted once per rebuild (fused word-parallel
+  // pass); both DFS sweeps below then pay a single bitset probe per node
+  // instead of two.
+  const std::size_t n_common = y.restrict_and_count(inserted_, common_scratch_);
+  GENTRIUS_DCHECK(n_common == common_count_[i]);
+  (void)n_common;
 
   // ---- agile side: slot every agile edge -------------------------------
   if (atrav_.root != root) build_traversal(agile_, root, atrav_);
@@ -294,19 +316,19 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
   // Zero-fill, then one reverse sweep folding in leaf keys and pushing the
   // subtree aggregate to the parent (children precede their parent in
   // reverse preorder, so a node is final when its own position is reached).
-  std::fill_n(cnt_.begin(), n, 0u);
-  std::fill_n(xorv_.begin(), n, std::uint64_t{0});
+  std::fill_n(xorv_.begin(), n, 0);
+  std::fill_n(cnt_.begin(), n, 0);
   for (std::size_t k = n; k-- > 1;) {
     const TaxonId t = atrav_.taxon[k];
-    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
+    if (t != kNoTaxon && common_scratch_.test(t)) {
       cnt_[k] += 1;
       xorv_[k] ^= keys[t];
     }
-    const std::uint32_t p = atrav_.parent_pos[k];
-    cnt_[p] += cnt_[k];
-    xorv_[p] ^= xorv_[k];
+    const std::uint32_t p0 = atrav_.parent_pos[k];
+    cnt_[p0] += cnt_[k];
+    xorv_[p0] ^= xorv_[k];
   }
-  xorv_[0] ^= keys[root];  // the root leaf is a common taxon by construction
+  xorv_[0] ^= keys[root];  // the root leaf is common by construction
   ++cnt_[0];
   const std::uint64_t hc = xorv_[0];  // XOR over all of C
 
@@ -329,8 +351,8 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
       // cnt is monotone toward the root, so p is either the root or keyed;
       // chains of edges inside one common-subtree edge reuse the parent's
       // slot without touching the intern table.
-      if (p != 0 && key == ctx_[p]) {
-        s = ctx_slot_[p];
+      if (p != 0 && key == ctxk_[p]) {
+        s = ctxs_[p];
       } else {
         std::uint32_t& v = slot_map_[key];
         if (v == 0) {
@@ -345,11 +367,11 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
     } else {
       // No common taxa below: the edge lies strictly inside the parent's
       // common-subtree edge.
-      key = ctx_[p];
-      s = ctx_slot_[p];
+      key = ctxk_[p];
+      s = ctxs_[p];
     }
-    ctx_[k] = key;
-    ctx_slot_[k] = s;
+    ctxk_[k] = key;
+    ctxs_[k] = s;
     const EdgeId e = atrav_.edge[k];
     eslot[e] = s;
     ++scount[s];
@@ -364,34 +386,31 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
   FlatTraversal& ct = ctrav_[i];
   auto& tslot = target_slot_[i];
   auto& tkey = target_key_[i];
-  if (incremental_ && have_target_keys_[i] != 0 && cdelta_[i].empty() &&
-      ct.root == root) {
+  if (have_target_keys_[i] != 0 && cdelta_[i].empty() && ct.root == root) {
     // C_i and the DFS root match the last full constraint-side pass, so the
     // attachment-edge keys of the open taxa are unchanged; only the
     // agile-side interning is fresh. Re-probe the stored keys instead of
-    // sweeping T_i.
-    y.for_each([&](std::size_t t) {
-      if (!inserted_.test(t)) {
-        const std::uint32_t v = slot_map_.get(tkey[t], 0);
-        tslot[t] = v == 0 ? kNoSlot : v - 1;
-      }
+    // sweeping T_i (block-iterated over Y_i \ inserted).
+    y.for_each_diff(inserted_, [&](std::size_t t) {
+      const std::uint32_t v = slot_map_.get(tkey[t], 0);
+      tslot[t] = v == 0 ? kNoSlot : v - 1;
     });
     return;
   }
   if (ct.root != root)
     build_traversal(problem_->constraints[i], root, ct);
   const std::size_t nc = ct.parent_pos.size();
-  std::fill_n(cnt_.begin(), nc, 0u);
-  std::fill_n(xorv_.begin(), nc, std::uint64_t{0});
+  std::fill_n(xorv_.begin(), nc, 0);
+  std::fill_n(cnt_.begin(), nc, 0);
   for (std::size_t k = nc; k-- > 1;) {
     const TaxonId t = ct.taxon[k];
-    if (t != kNoTaxon && y.test(t) && inserted_.test(t)) {
+    if (t != kNoTaxon && common_scratch_.test(t)) {
       cnt_[k] += 1;
       xorv_[k] ^= keys[t];
     }
-    const std::uint32_t p = ct.parent_pos[k];
-    cnt_[p] += cnt_[k];
-    xorv_[p] ^= xorv_[k];
+    const std::uint32_t p0 = ct.parent_pos[k];
+    cnt_[p0] += cnt_[k];
+    xorv_[p0] ^= xorv_[k];
   }
   xorv_[0] ^= keys[root];
   ++cnt_[0];
@@ -405,9 +424,9 @@ void Terrace::rebuild_constraint(std::size_t i, TaxonId root) {
       const std::uint64_t hx = h ^ hc;
       key = h < hx ? h : hx;
     } else {
-      key = ctx_[p];
+      key = ctxk_[p];
     }
-    ctx_[k] = key;
+    ctxk_[k] = key;
     const TaxonId t = ct.taxon[k];
     if (t != kNoTaxon && !inserted_.test(t)) {
       tkey[t] = key;
@@ -447,13 +466,22 @@ void Terrace::ensure_mappings() {
 
 void Terrace::gather_constraints(TaxonId x) {
   scratch_js_.clear();
-  for (const std::uint32_t i : problem_->trees_of_taxon[x])
-    if (active_[i]) scratch_js_.push_back(i);
+  scratch_eslot_.clear();
+  scratch_target_.clear();
+  for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
+    if (!active_[i]) continue;
+    // Active implies rebuilt (ensure_mappings ran), so the per-constraint
+    // arrays exist; cache the edge-slot base pointer and x's target slot so
+    // every probe below is one load + compare with no double indirection.
+    scratch_js_.push_back(i);
+    scratch_eslot_.push_back(edge_slot_[i].data());
+    scratch_target_.push_back(target_slot_[i][x]);
+  }
 }
 
-bool Terrace::edge_admissible(TaxonId x, EdgeId e) const {
-  for (const std::uint32_t i : scratch_js_)
-    if (edge_slot_[i][e] != target_slot_[i][x]) return false;
+bool Terrace::edge_admissible(EdgeId e) const {
+  for (std::size_t k = 0; k < scratch_eslot_.size(); ++k)
+    if (scratch_eslot_[k][e] != scratch_target_[k]) return false;
   return true;
 }
 
@@ -461,29 +489,33 @@ std::size_t Terrace::count_fresh(TaxonId x) {
   gather_constraints(x);
   if (scratch_js_.empty()) return agile_.edge_count();
   if (scratch_js_.size() == 1) {
-    const std::uint32_t i = scratch_js_[0];
-    const std::uint32_t ts = target_slot_[i][x];
-    return ts == kNoSlot ? 0 : slot_count_[i][ts];
+    const std::uint32_t ts = scratch_target_[0];
+    return ts == kNoSlot ? 0 : slot_count_[scratch_js_[0]][ts];
   }
   // Multiple constraints: walk the smallest constraint's preimage list and
-  // probe the others.
-  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
-  for (const std::uint32_t i : scratch_js_) {
-    const std::uint32_t ts = target_slot_[i][x];
-    if (ts == kNoSlot || slot_count_[i][ts] == 0) return 0;
-    if (slot_count_[i][ts] < best_n) {
-      best_n = slot_count_[i][ts];
-      best_i = i;
-      best_s = ts;
+  // probe the others through the gathered pointer caches.
+  const std::size_t nj = scratch_js_.size();
+  std::size_t best_k = 0;
+  std::uint32_t best_n = 0xffffffffu;
+  for (std::size_t k = 0; k < nj; ++k) {
+    const std::uint32_t ts = scratch_target_[k];
+    if (ts == kNoSlot) return 0;
+    const std::uint32_t sc = slot_count_[scratch_js_[k]][ts];
+    if (sc == 0) return 0;
+    if (sc < best_n) {
+      best_n = sc;
+      best_k = k;
     }
   }
   std::size_t count = 0;
+  const std::uint32_t best_i = scratch_js_[best_k];
   const auto& next = link_next_[best_i];
-  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
+  for (EdgeId e = slot_head_[best_i][scratch_target_[best_k]]; e != kNoId;
+       e = next[e]) {
     bool ok = true;
-    for (const std::uint32_t i : scratch_js_) {
-      if (i == best_i) continue;
-      if (edge_slot_[i][e] != target_slot_[i][x]) {
+    for (std::size_t k = 0; k < nj; ++k) {
+      if (k == best_k) continue;
+      if (scratch_eslot_[k][e] != scratch_target_[k]) {
         ok = false;
         break;
       }
@@ -494,6 +526,24 @@ std::size_t Terrace::count_fresh(TaxonId x) {
 }
 
 std::size_t Terrace::admissible_count(TaxonId x) {
+  gather_constraints(x);
+  if (scratch_js_.size() <= 1) {
+    // Degenerate constraint degree: a fresh count is O(1) either way
+    // (edge_count or one slot_count lookup), cheaper than any journal
+    // replay — bypass the cache machinery entirely.
+    std::size_t c;
+    if (scratch_js_.empty()) {
+      c = agile_.edge_count();
+    } else {
+      const std::uint32_t ts = scratch_target_[0];
+      c = ts == kNoSlot ? 0 : slot_count_[scratch_js_[0]][ts];
+    }
+    cached_count_[x] = static_cast<std::uint32_t>(c);
+    cache_mut_[x] = mutation_count_;
+    cache_valid_[x] = 1;
+    ++stats_.fresh_counts;
+    return c;
+  }
   bool valid = cache_valid_[x] != 0 && cache_mut_[x] >= journal_base_;
   if (valid) {
     for (const std::uint32_t i : problem_->trees_of_taxon[x]) {
@@ -513,8 +563,8 @@ std::size_t Terrace::admissible_count(TaxonId x) {
     // events cancel. An event whose edge id died since (generation
     // mismatch) may have been recycled by a later insert — the id's slot
     // then reflects the new occupant, not the edge the event recorded — so
-    // the window is unreplayable and we recount from scratch.
-    gather_constraints(x);
+    // the window is unreplayable and we recount from scratch. (x's probe
+    // caches were gathered above.)
     std::int64_t c = static_cast<std::int64_t>(cached_count_[x]);
     const std::size_t mask = journal_.size() - 1;
     bool replayable = true;
@@ -524,7 +574,7 @@ std::size_t Terrace::admissible_count(TaxonId x) {
         replayable = false;
         break;
       }
-      if (edge_admissible(x, evt.edge)) c += 2 * evt.sign;
+      if (edge_admissible(evt.edge)) c += 2 * evt.sign;
     }
     if (replayable) {
       GENTRIUS_DCHECK(c >= 0);
@@ -551,23 +601,28 @@ std::size_t Terrace::admissible_count(TaxonId x) {
 bool Terrace::has_admissible(TaxonId x) {
   gather_constraints(x);
   if (scratch_js_.empty()) return agile_.edge_count() > 0;
-  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
-  for (const std::uint32_t i : scratch_js_) {
-    const std::uint32_t ts = target_slot_[i][x];
-    if (ts == kNoSlot || slot_count_[i][ts] == 0) return false;
-    if (slot_count_[i][ts] < best_n) {
-      best_n = slot_count_[i][ts];
-      best_i = i;
-      best_s = ts;
+  const std::size_t nj = scratch_js_.size();
+  std::size_t best_k = 0;
+  std::uint32_t best_n = 0xffffffffu;
+  for (std::size_t k = 0; k < nj; ++k) {
+    const std::uint32_t ts = scratch_target_[k];
+    if (ts == kNoSlot) return false;
+    const std::uint32_t sc = slot_count_[scratch_js_[k]][ts];
+    if (sc == 0) return false;
+    if (sc < best_n) {
+      best_n = sc;
+      best_k = k;
     }
   }
-  if (scratch_js_.size() == 1) return true;  // nonzero preimage suffices
+  if (nj == 1) return true;  // nonzero preimage suffices
+  const std::uint32_t best_i = scratch_js_[best_k];
   const auto& next = link_next_[best_i];
-  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
+  for (EdgeId e = slot_head_[best_i][scratch_target_[best_k]]; e != kNoId;
+       e = next[e]) {
     bool ok = true;
-    for (const std::uint32_t i : scratch_js_) {
-      if (i == best_i) continue;
-      if (edge_slot_[i][e] != target_slot_[i][x]) {
+    for (std::size_t k = 0; k < nj; ++k) {
+      if (k == best_k) continue;
+      if (scratch_eslot_[k][e] != scratch_target_[k]) {
         ok = false;
         break;
       }
@@ -587,22 +642,27 @@ void Terrace::collect_branches(TaxonId x, std::vector<EdgeId>& out) {
       if (agile_.edge_alive(e)) out.push_back(e);
     return;
   }
-  std::uint32_t best_i = 0, best_s = 0, best_n = 0xffffffffu;
-  for (const std::uint32_t i : scratch_js_) {
-    const std::uint32_t ts = target_slot_[i][x];
-    if (ts == kNoSlot || slot_count_[i][ts] == 0) return;
-    if (slot_count_[i][ts] < best_n) {
-      best_n = slot_count_[i][ts];
-      best_i = i;
-      best_s = ts;
+  const std::size_t nj = scratch_js_.size();
+  std::size_t best_k = 0;
+  std::uint32_t best_n = 0xffffffffu;
+  for (std::size_t k = 0; k < nj; ++k) {
+    const std::uint32_t ts = scratch_target_[k];
+    if (ts == kNoSlot) return;
+    const std::uint32_t sc = slot_count_[scratch_js_[k]][ts];
+    if (sc == 0) return;
+    if (sc < best_n) {
+      best_n = sc;
+      best_k = k;
     }
   }
+  const std::uint32_t best_i = scratch_js_[best_k];
   const auto& next = link_next_[best_i];
-  for (EdgeId e = slot_head_[best_i][best_s]; e != kNoId; e = next[e]) {
+  for (EdgeId e = slot_head_[best_i][scratch_target_[best_k]]; e != kNoId;
+       e = next[e]) {
     bool ok = true;
-    for (const std::uint32_t i : scratch_js_) {
-      if (i == best_i) continue;
-      if (edge_slot_[i][e] != target_slot_[i][x]) {
+    for (std::size_t k = 0; k < nj; ++k) {
+      if (k == best_k) continue;
+      if (scratch_eslot_[k][e] != scratch_target_[k]) {
         ok = false;
         break;
       }
@@ -687,8 +747,8 @@ bool Terrace::initial_state_consistent() const {
   for (std::size_t i = 0; i < problem_->constraints.size(); ++i) {
     if (common_count_[i] < 4) continue;  // <= 3 common taxa: always consistent
     std::vector<TaxonId> common;
-    problem_->constraint_taxa[i].for_each([&](std::size_t t) {
-      if (inserted_.test(t)) common.push_back(static_cast<TaxonId>(t));
+    problem_->constraint_taxa[i].for_each_and(inserted_, [&](std::size_t t) {
+      common.push_back(static_cast<TaxonId>(t));
     });
     const auto a = phylo::restrict_to(agile_, common);
     const auto b = phylo::restrict_to(problem_->constraints[i], common);

@@ -48,11 +48,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gentrius/options.hpp"
 #include "gentrius/problem.hpp"
 #include "phylo/tree.hpp"
+#include "support/arena.hpp"
 #include "support/bitset.hpp"
 #include "support/key_map.hpp"
 
@@ -145,14 +147,20 @@ class Terrace {
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
+  template <typename T>
+  using AVec = support::ArenaVector<T>;
+
   /// Flattened DFS traversal: preorder positions with parents before
   /// children; position 0 is the root leaf. Sweeping these arrays replaces
-  /// pointer-chasing the tree during mapping rebuilds.
+  /// pointer-chasing the tree during mapping rebuilds. Kept as parallel
+  /// arrays deliberately: an AoS TravNode variant measured ~40 % slower on
+  /// BM_FullStateExpansion (the sweeps read one field at a time, so packing
+  /// defeats the per-field streaming).
   struct FlatTraversal {
     TaxonId root = kNoTaxon;  ///< root leaf's taxon; kNoTaxon = not built
-    std::vector<std::uint32_t> parent_pos;  ///< per position, parent's position
-    std::vector<EdgeId> edge;               ///< per position, edge to parent
-    std::vector<TaxonId> taxon;             ///< per position, leaf taxon or kNoTaxon
+    std::vector<std::uint32_t> parent_pos;
+    std::vector<EdgeId> edge;
+    std::vector<TaxonId> taxon;
   };
 
   void ensure_mappings();
@@ -168,10 +176,12 @@ class Terrace {
   std::size_t count_fresh(TaxonId x);
   /// Whether x has at least one admissible branch (early-exit probe).
   bool has_admissible(TaxonId x);
-  /// Every active constraint of x agrees on edge e.
-  bool edge_admissible(TaxonId x, EdgeId e) const;
+  /// Every active constraint of the gathered taxon agrees on edge e (reads
+  /// the probe caches of the latest gather_constraints call).
+  bool edge_admissible(EdgeId e) const;
   void collect_branches(TaxonId x, std::vector<EdgeId>& out);
-  /// Active constraint slots of x: |C_i| >= 2. Fills scratch_js_.
+  /// Active constraint slots of x: |C_i| >= 2. Fills scratch_js_ plus the
+  /// probe caches (edge_slot_ row pointers and x's target slots).
   void gather_constraints(TaxonId x);
 
   // Intrusive preimage-list maintenance for constraint i, slot s.
@@ -180,6 +190,14 @@ class Terrace {
 
   // Mutation journal (insert/remove events) for the count cache.
   void journal_push(EdgeId split_edge, std::int8_t sign);
+
+  // Per-worker arena backing every hot scratch container below (declared
+  // first: members are initialized in declaration order and the containers
+  // need the arena at construction). Copied Terraces share the arena via
+  // shared_ptr — memory-safe in every case, but the arena itself is not
+  // thread-safe, so a copy must stay on the owning worker's thread, which
+  // the class-wide "worker-private by design" contract already demands.
+  std::shared_ptr<support::Arena> arena_;
 
   const Problem* problem_;
   phylo::Tree agile_;
@@ -204,19 +222,21 @@ class Terrace {
   std::vector<char> dirty_;
   std::size_t max_edges_ = 0;  // agile edge-capacity bound, fixed at build
 
-  // Slot-interned mapping storage, per constraint, allocated lazily.
-  // edge_slot_[i][e] / target_slot_[i][x] identify the common-subtree edge
-  // an agile edge / a remaining taxon maps onto (kNoSlot: none on the agile
-  // side). slot_count_[i][s] is the preimage size; slot_head_ plus the
-  // link_ arrays thread the preimage list through edge ids.
-  std::vector<std::vector<std::uint32_t>> edge_slot_;
-  std::vector<std::vector<std::uint32_t>> target_slot_;
-  std::vector<std::vector<std::uint32_t>> slot_count_;
-  std::vector<std::vector<EdgeId>> slot_head_;
-  std::vector<std::vector<EdgeId>> link_next_;
-  std::vector<std::vector<EdgeId>> link_prev_;
+  // Slot-interned mapping storage, per constraint, allocated lazily — from
+  // the arena, so one activation lays a constraint's six arrays out
+  // back-to-back. edge_slot_[i][e] / target_slot_[i][x] identify the
+  // common-subtree edge an agile edge / a remaining taxon maps onto
+  // (kNoSlot: none on the agile side). slot_count_[i][s] is the preimage
+  // size; slot_head_ plus the link_ arrays thread the preimage list through
+  // edge ids.
+  std::vector<AVec<std::uint32_t>> edge_slot_;
+  std::vector<AVec<std::uint32_t>> target_slot_;
+  std::vector<AVec<std::uint32_t>> slot_count_;
+  std::vector<AVec<EdgeId>> slot_head_;
+  std::vector<AVec<EdgeId>> link_next_;
+  std::vector<AVec<EdgeId>> link_prev_;
   std::vector<std::uint32_t> n_slots_;  // live slots after latest rebuild
-  support::KeyMap slot_map_{64};        // scratch key -> slot+1, per rebuild
+  support::KeyMap slot_map_;            // scratch key -> slot+1, per rebuild
 
   // Constraint-side pass elision. target_key_[i][x] is the canonical key of
   // the attachment edge of open taxon x in T_i, valid for the DFS root and
@@ -226,7 +246,7 @@ class Terrace {
   // empty and the root is unchanged, a rebuild reuses the stored keys and
   // only re-probes them against the fresh agile-side interning — the
   // dominant case when the enumerator steps a taxon to its next branch.
-  std::vector<std::vector<std::uint64_t>> target_key_;
+  std::vector<AVec<std::uint64_t>> target_key_;
   std::vector<char> have_target_keys_;
   std::vector<std::vector<std::int32_t>> cdelta_;  // +(x+1) insert, -(x+1) remove
 
@@ -256,7 +276,7 @@ class Terrace {
     std::uint32_t gen = 0;    ///< edge_gen_[edge] when the event was journaled
     std::int8_t sign = 0;     ///< +1 insert, -1 remove
   };
-  std::vector<MutEvent> journal_;  // ring, power-of-two size
+  AVec<MutEvent> journal_;  // ring, power-of-two size, arena-backed
   std::uint64_t mutation_count_ = 1;
   std::uint64_t journal_base_ = 1;  // oldest retained event index
   // Per-edge-id reuse generation: bumped whenever an edge id is returned to
@@ -269,11 +289,25 @@ class Terrace {
 
   SelectionStats stats_;
 
-  // Mapping-sweep scratch, indexed by traversal position.
-  std::vector<std::uint32_t> cnt_;
-  std::vector<std::uint64_t> xorv_, ctx_;
-  std::vector<std::uint32_t> ctx_slot_;
-  std::vector<std::uint32_t> scratch_js_;
+  // Mapping-sweep scratch, indexed by traversal position; arena-backed so
+  // the rebuild sweeps stream contiguous warm regions (parallel arrays, same
+  // rationale as FlatTraversal).
+  AVec<std::uint64_t> xorv_;
+  AVec<std::uint32_t> cnt_;
+  AVec<std::uint64_t> ctxk_;
+  AVec<std::uint32_t> ctxs_;
+  // C_i = Y_i ∩ inserted of the constraint currently being rebuilt,
+  // materialized once per rebuild by the fused restrict_and_count kernel so
+  // the per-node membership test in both sweeps is a single bit probe.
+  support::Bitset common_scratch_;
+
+  // Probe caches filled by gather_constraints(x): the active constraint
+  // slots of x, plus — for the admissibility inner loop — each one's raw
+  // edge_slot_ row pointer and x's target slot, so a probe is one indexed
+  // load and compare with no double indirection.
+  AVec<std::uint32_t> scratch_js_;
+  AVec<const std::uint32_t*> scratch_eslot_;
+  AVec<std::uint32_t> scratch_target_;
 };
 
 }  // namespace gentrius::core

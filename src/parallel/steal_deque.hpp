@@ -1,22 +1,37 @@
-// Distributed work-stealing scheduler: per-worker bounded deques.
+// Distributed work-stealing scheduler: per-worker lock-free bounded deques.
 //
 // The paper's §III design funnels every hand-off through one mutex/condvar
 // TaskQueue whose capacity rule (N_t+1, then N_t/2) deliberately starves
 // the pool at high thread counts. This header implements the alternative
 // scheduler (Options::Scheduler::kDistributedDeques): each worker owns a
-// bounded ring deque, pushes and pops its own tasks LIFO (newest = deepest
-// subtree, warm state), and — when both its assignment and its deque are
-// empty — steals FIFO (oldest = shallowest = biggest subtree) from victims
-// visited in a deterministically seeded random cyclic order. Lock traffic
-// is per-deque: owners and thieves contend only on the ring they actually
-// touch, never on one global mutex.
+// bounded Chase-Lev-style ring deque, pushes and pops its own tasks LIFO
+// (newest = deepest subtree, warm state) with no lock and no CAS on the
+// common path, and — when both its assignment and its deque are empty —
+// steals FIFO (oldest = shallowest = biggest subtree) from victims visited
+// in a deterministically seeded random cyclic order. Thieves synchronize
+// with each other and with the owner's last-element pop through a single
+// CAS on the deque's top index; the owner's push/pop touch no shared lock
+// at all.
+//
+// Tasks are handed off as node pointers, not values: the ring stores
+// pointers into a fixed node pool, so a steal moves one pointer plus an
+// O(1) vector swap — the same hand-off cost as the old locked design's
+// swap_into, without the mutex. Nodes consumed by either side return to a
+// Treiber free stack; only the owner pops it (so the classic ABA window
+// needs no generation tags), while owner and thieves both push. The pool
+// holds capacity + max_thieves + 1 nodes, which makes the free stack
+// provably non-empty whenever the ring is non-full (each thief holds at
+// most one node mid-hand-off), so a successful try_reserve still
+// guarantees the next owner_push cannot fail.
 //
 // Termination detection is a busy count: a worker whose steal sweep fails
 // registers as idle under the scheduler's signal mutex; the last worker to
 // go idle with zero pending tasks declares the run finished and wakes
-// everyone. Pushes signal sleepers through the same mutex, so a parked
-// worker is unparked by the next offer (or by a stopping rule via the
-// core::StopWaker hook).
+// everyone. The pending-task count itself is a lock-free atomic,
+// incremented before a task becomes stealable; producers only touch the
+// signal mutex when a sleeper is actually parked (Dekker-style pairing of
+// the pending increment with the sleeper count, both seq_cst, closes the
+// lost-wakeup race).
 //
 // Decomposition semantics are identical to the central queue: an offered
 // task carries half of a frame's admissible branches plus the replay path,
@@ -60,122 +75,218 @@ inline std::size_t steal_deque_capacity_for(std::size_t /*n_threads*/) {
 /// scans cyclically, so thieves spread over victims instead of convoying on
 /// worker 0. The identical generator drives the virtual-time simulator's
 /// victim order, making the simulated schedule a pure function of
-/// Options::steal_seed.
+/// Options::steal_seed. A selector always belongs to a concrete pool, so
+/// the zero-worker state is unrepresentable: there is no default
+/// constructor, and construction checks n_workers >= 1.
 class VictimSelector {
  public:
-  VictimSelector() : rng_(0) {}
   VictimSelector(std::uint64_t seed, std::size_t tid, std::size_t n_workers)
       : rng_(seed ^ (0x9e3779b97f4a7c15ULL * (tid + 1))),
-        n_workers_(n_workers) {}
+        n_workers_(n_workers) {
+    GENTRIUS_CHECK(n_workers >= 1);
+  }
 
   /// First victim candidate of a sweep (may equal the caller's own id —
   /// sweeps skip self). Cyclic scan order: begin, begin+1, ... mod n.
-  std::size_t begin_sweep() { return rng_.below(n_workers_ ? n_workers_ : 1); }
+  std::size_t begin_sweep() { return rng_.below(n_workers_); }
 
  private:
   support::Rng rng_;
-  std::size_t n_workers_ = 1;
+  std::size_t n_workers_;
 };
 
-/// One worker's bounded task ring. The owner pushes and pops at the tail
-/// (LIFO); thieves take from the head (FIFO). All hand-offs swap the task's
-/// vectors with slot storage, so the critical sections are O(1) pointer
-/// exchanges exactly like the central TaskQueue's.
+/// One worker's bounded lock-free task ring (Chase-Lev-style). The owner
+/// pushes and pops at the bottom (LIFO) without locks or, except for the
+/// last element, CAS; thieves take from the top (FIFO) behind a CAS. All
+/// hand-offs swap the task's vectors with node storage, so the contended
+/// window is O(1) pointer exchanges exactly like the central TaskQueue's
+/// critical sections.
+///
+/// `max_thieves` bounds how many threads may call steal() concurrently
+/// (the scheduler passes its worker count); it sizes the node pool so the
+/// free stack can never be empty while the ring has room.
 class StealDeque {
  public:
-  explicit StealDeque(std::size_t capacity)
-      : capacity_(capacity), slots_(capacity) {}
+  explicit StealDeque(std::size_t capacity, std::size_t max_thieves = 16)
+      : capacity_(static_cast<std::int64_t>(capacity)),
+        nodes_(capacity + max_thieves + 1),
+        ring_(capacity) {
+    GENTRIUS_CHECK(capacity >= 1);
+    for (auto& n : nodes_) push_free(&n);
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
 
   /// Owner-side capacity reservation: false (counting the rejection) when
   /// the ring is full. Sound as a push precondition despite being a
-  /// separate critical section: the owner is the only thread that adds
-  /// tasks, and thieves can only drain, so a non-full observation cannot
-  /// be invalidated before the owner's next push.
-  bool try_reserve() GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    if (size_ >= capacity_) {
-      ++rejections_;
+  /// separate load: the owner is the only thread that adds tasks, and
+  /// thieves can only drain, so a non-full observation cannot be
+  /// invalidated before the owner's next push.
+  bool try_reserve() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= capacity_) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     return true;
   }
 
   /// Owner side: false when full (the caller keeps its branches). Counts
-  /// capacity rejections and tracks the high-water depth.
-  bool owner_push(core::Task& task) GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    GENTRIUS_DCHECK_LE(size_, capacity_);
-    if (size_ >= capacity_) {
-      ++rejections_;
+  /// capacity rejections and tracks the high-water depth. No lock, no CAS.
+  bool owner_push(core::Task& task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= capacity_) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    swap_into(slots_[(head_ + size_) % capacity_], task);
-    ++size_;
-    if (size_ > max_depth_) max_depth_ = size_;
+    Node* n = acquire_node();
+    swap_into(n->task, task);
+    ring_[static_cast<std::size_t>(b % capacity_)].store(
+        n, std::memory_order_relaxed);
+    // Publish: a thief that observes bottom > top acquires the node
+    // pointer and its payload through this release store.
+    bottom_.store(b + 1, std::memory_order_release);
+    const std::size_t depth = static_cast<std::size_t>(b + 1 - t);
+    if (depth > max_depth_.load(std::memory_order_relaxed))
+      max_depth_.store(depth, std::memory_order_relaxed);
     return true;
   }
 
-  /// Owner side: newest task (deepest subtree), or false when empty.
-  bool owner_pop(core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    if (size_ == 0) return false;
-    --size_;
-    swap_into(out, slots_[(head_ + size_) % capacity_]);
+  /// Owner side: newest task (deepest subtree), or false when empty. Only
+  /// the race for the final element pays a CAS against thieves.
+  bool owner_pop(core::Task& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // The store above must be globally visible before the top_ read below
+    // (the Chase-Lev owner/thief symmetry point).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty: restore bottom
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Node* n =
+        ring_[static_cast<std::size_t>(b % capacity_)].load(
+            std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: contend with thieves on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);  // thief won
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    swap_into(out, n->task);
+    push_free(n);
     return true;
   }
 
-  /// Thief side: oldest task (shallowest, biggest subtree), or false.
-  bool steal(core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    if (size_ == 0) return false;
-    swap_into(out, slots_[head_]);
-    head_ = (head_ + 1) % capacity_;
-    --size_;
+  /// Thief side: oldest task (shallowest, biggest subtree), or false when
+  /// empty or when another thief (or the owner's last-element pop) won the
+  /// CAS race. A false from a race is indistinguishable from empty to the
+  /// caller — the scheduler treats both as a failed probe and re-checks
+  /// pending work before parking, so no task is ever lost.
+  bool steal(core::Task& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    // Read the node pointer *before* the CAS: once top moves, the owner may
+    // recycle the slot. A failed CAS discards the read untouched.
+    Node* n =
+        ring_[static_cast<std::size_t>(t % capacity_)].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return false;
+    swap_into(out, n->task);
+    push_free(n);
     return true;
   }
 
-  std::size_t size() const GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    return size_;
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
-  std::uint64_t rejections() const GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    return rejections_;
+  std::uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
   }
-  std::size_t max_depth() const GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    return max_depth_;
+  std::size_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
   }
 
  private:
+  struct Node {
+    core::Task task;
+    std::atomic<Node*> next_free{nullptr};
+  };
+
   static void swap_into(core::Task& dst, core::Task& src) {
     std::swap(dst.path, src.path);
     dst.next_taxon = src.next_taxon;
     std::swap(dst.branches, src.branches);
   }
 
-  const std::size_t capacity_;
-  mutable support::Mutex mutex_;
-  std::vector<core::Task> slots_ GENTRIUS_GUARDED_BY(mutex_);  // fixed ring
-  std::size_t head_ GENTRIUS_GUARDED_BY(mutex_) = 0;
-  std::size_t size_ GENTRIUS_GUARDED_BY(mutex_) = 0;
-  std::size_t max_depth_ GENTRIUS_GUARDED_BY(mutex_) = 0;
-  std::uint64_t rejections_ GENTRIUS_GUARDED_BY(mutex_) = 0;
+  /// Multi-producer free-stack push (owner and thieves both return nodes).
+  void push_free(Node* n) {
+    Node* head = free_head_.load(std::memory_order_relaxed);
+    do {
+      n->next_free.store(head, std::memory_order_relaxed);
+    } while (!free_head_.compare_exchange_weak(
+        head, n, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  /// Single-consumer free-stack pop: only the owner calls this, so the
+  /// popped head cannot be concurrently removed by anyone else and the
+  /// classic Treiber ABA window does not arise. The pool is sized so a
+  /// node is always available when the ring is non-full; the wait loop
+  /// only covers the instants where a thief holds a node between its CAS
+  /// and its push_free, and that thief is guaranteed to return it.
+  Node* acquire_node() {
+    for (;;) {
+      Node* head = free_head_.load(std::memory_order_acquire);
+      if (head == nullptr) continue;  // thief mid-hand-off: bounded wait
+      Node* next = head->next_free.load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(head, next,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed))
+        return head;
+    }
+  }
+
+  const std::int64_t capacity_;
+  std::vector<Node> nodes_;                 // fixed pool, never reallocates
+  std::vector<std::atomic<Node*>> ring_;    // indexed modulo capacity_
+  std::atomic<Node*> free_head_{nullptr};
+  // top_/bottom_ never decrease except bottom_'s transient owner_pop dip;
+  // size = bottom - top. 64-bit indices never wrap in practice.
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<std::size_t> max_depth_{0};   // owner-written, racily read
+  std::atomic<std::uint64_t> rejections_{0};
 };
 
 /// The full distributed scheduler: N_t deques, per-worker victim streams,
 /// busy-count termination, and a signal mutex/condvar for parking idle
 /// workers. Workers interact through per-worker handles: the handle is the
 /// enumerator's TaskSink (offers land in the worker's own deque) and the
-/// pool's blocking acquire source.
+/// pool's blocking acquire source. Task hand-off itself is lock-free; the
+/// signal mutex is touched only to park, to unpark a parked worker, and to
+/// arbitrate termination.
 class DequeScheduler final : public core::StopWaker {
  public:
   DequeScheduler(std::size_t workers, std::uint64_t steal_seed)
       : workers_(workers), busy_(workers) {
     handles_.reserve(workers);
     for (std::size_t tid = 0; tid < workers; ++tid) {
-      deques_.emplace_back(steal_deque_capacity_for(workers));
-      handles_.push_back(Handle{this, tid, VictimSelector(steal_seed, tid, workers)});
+      deques_.emplace_back(steal_deque_capacity_for(workers), workers);
+      handles_.push_back(
+          Handle{this, tid, VictimSelector(steal_seed, tid, workers)});
     }
   }
 
@@ -219,20 +330,31 @@ class DequeScheduler final : public core::StopWaker {
       if (try_steal(tid, out)) return true;
       // Nothing anywhere: transition to idle under the signal mutex. The
       // pending_ re-check under the lock closes the race with a push that
-      // landed between the failed sweep and the lock acquisition.
+      // landed between the failed sweep and the lock acquisition (a steal
+      // CAS lost to a racing thief also lands here; the loser re-sweeps or
+      // parks, and the pending count keeps termination exact).
       bool i_terminated = false;
       {
         support::MutexLock lock(mutex_);
-        if (pending_ > 0) continue;  // late push: stay busy, sweep again
+        if (pending_.load(std::memory_order_seq_cst) > 0)
+          continue;  // late push: stay busy, sweep again
         GENTRIUS_DCHECK_GT(busy_, 0u);
         if (--busy_ == 0) {
           done_.store(true, std::memory_order_release);
           i_terminated = true;
         } else {
+          // Dekker pairing with push_local: the sleeper count is raised
+          // *before* re-reading pending_ (both seq_cst), the producer
+          // raises pending_ *before* reading the sleeper count — at least
+          // one side must see the other, so no push can slip between this
+          // predicate check and the wait.
+          sleepers_.fetch_add(1, std::memory_order_seq_cst);
           while (!done_.load(std::memory_order_acquire) &&
-                 !sink.stop_requested() && pending_ == 0) {
+                 !sink.stop_requested() &&
+                 pending_.load(std::memory_order_seq_cst) == 0) {
             cv_.wait(mutex_);
           }
+          sleepers_.fetch_sub(1, std::memory_order_seq_cst);
           if (done_.load(std::memory_order_acquire) || sink.stop_requested())
             return false;  // busy_ stays decremented: this worker is leaving
           ++busy_;
@@ -257,7 +379,7 @@ class DequeScheduler final : public core::StopWaker {
 
   void wake_all() override { broadcast_stop(); }
 
-  core::SchedulerStats stats() const GENTRIUS_EXCLUDES(mutex_) {
+  core::SchedulerStats stats() const {
     core::SchedulerStats s;
     s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
     s.steal_attempts = probes_.load(std::memory_order_relaxed);
@@ -271,9 +393,8 @@ class DequeScheduler final : public core::StopWaker {
   }
 
   /// Diagnostics (tests): total tasks currently queued across all deques.
-  std::size_t pending() const GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    return pending_;
+  std::size_t pending() const {
+    return pending_.load(std::memory_order_seq_cst);
   }
 
  private:
@@ -282,23 +403,26 @@ class DequeScheduler final : public core::StopWaker {
   // precede the matching increment (pending_ would underflow). The
   // try_reserve precheck is what makes increment-first safe — the push
   // after a successful reservation cannot fail, because only the owner
-  // adds tasks to its own deque.
-  bool push_local(std::size_t tid, core::Task& task)
-      GENTRIUS_EXCLUDES(mutex_) {
+  // adds tasks to its own deque (and the node pool is sized so a free
+  // node is always available when the ring has room).
+  bool push_local(std::size_t tid, core::Task& task) {
     if (done_.load(std::memory_order_acquire)) return false;
     if (!deques_[tid].try_reserve()) return false;
-    {
-      support::MutexLock lock(mutex_);
-      ++pending_;
-    }
+    pending_.fetch_add(1, std::memory_order_seq_cst);
     const bool pushed = deques_[tid].owner_push(task);
     GENTRIUS_DCHECK(pushed);
     static_cast<void>(pushed);
-    cv_.notify_one();
+    // Wake a parked worker only when one exists — the common case (all
+    // workers busy) never touches the signal mutex. See the Dekker note
+    // in acquire() for why this cannot miss a sleeper.
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      { support::MutexLock lock(mutex_); }
+      cv_.notify_one();
+    }
     return true;
   }
 
-  bool try_steal(std::size_t tid, core::Task& out) GENTRIUS_EXCLUDES(mutex_) {
+  bool try_steal(std::size_t tid, core::Task& out) {
     if (workers_ < 2) return false;
     const std::size_t start = handles_[tid].selector_.begin_sweep();
     for (std::size_t k = 0; k < workers_; ++k) {
@@ -315,19 +439,21 @@ class DequeScheduler final : public core::StopWaker {
     return false;
   }
 
-  void note_taken() GENTRIUS_EXCLUDES(mutex_) {
-    support::MutexLock lock(mutex_);
-    GENTRIUS_DCHECK_GT(pending_, 0u);
-    --pending_;
+  void note_taken() {
+    const std::size_t before =
+        pending_.fetch_sub(1, std::memory_order_seq_cst);
+    GENTRIUS_DCHECK_GT(before, 0u);
+    static_cast<void>(before);
   }
 
   const std::size_t workers_;
-  std::deque<StealDeque> deques_;  // StealDeque owns a Mutex: not relocatable
+  std::deque<StealDeque> deques_;  // StealDeque is pinned: not relocatable
   std::vector<Handle> handles_;
 
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_;  // parking + termination arbitration only
   support::CondVar cv_;
-  std::size_t pending_ GENTRIUS_GUARDED_BY(mutex_) = 0;  // queued tasks, all deques
+  std::atomic<std::size_t> pending_{0};   // queued tasks across all deques
+  std::atomic<std::size_t> sleepers_{0};  // workers parked on cv_
   std::size_t busy_ GENTRIUS_GUARDED_BY(mutex_);
   std::atomic<bool> done_{false};
 

@@ -132,10 +132,16 @@ MultiTree MultiTree::from_splits(const std::vector<TaxonId>& taxa,
                             bool strict) -> std::uint32_t {
     for (std::size_t j = from; j < clusters.size(); ++j) {
       if (strict && clusters[j] == set) continue;
-      if (set.is_subset_of(clusters[j]))
-        return first_cluster_node + static_cast<std::uint32_t>(j);
-      if (set.intersects(clusters[j]) && !set.is_subset_of(clusters[j]))
-        throw InvalidInput("from_splits: split family is not laminar");
+      // One fused pass answers both the containment and the laminarity
+      // question (set is never empty here, so kDisjoint is unambiguous).
+      switch (set.relation_to(clusters[j])) {
+        case Bitset::Relation::kSubset:
+          return first_cluster_node + static_cast<std::uint32_t>(j);
+        case Bitset::Relation::kOverlap:
+          throw InvalidInput("from_splits: split family is not laminar");
+        case Bitset::Relation::kDisjoint:
+          break;
+      }
     }
     return root;
   };

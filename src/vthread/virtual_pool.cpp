@@ -135,13 +135,15 @@ class VirtualQueue final : public core::TaskSink {
   std::size_t max_depth_ GENTRIUS_GUARDED_BY(role_) = 0;
 };
 
-/// Simulated distributed scheduler: the deterministic twin of
-/// parallel::DequeScheduler. One bounded ring per worker, owner-local LIFO
-/// push/pop, FIFO steals under the *same* seeded VictimSelector streams as
-/// the real scheduler, and one modeled lock per deque (its own
-/// lock_free_at_), so owner/thief collisions serialize per ring instead of
-/// per pool. All state is guarded by the SequentialRole capability exactly
-/// like VirtualQueue's.
+/// Simulated distributed scheduler: the deterministic twin of the
+/// lock-free parallel::DequeScheduler. One bounded ring per worker,
+/// owner-local LIFO push/pop charged flat (deque_owner_cost — uncontended
+/// atomics, never serialized), FIFO steals under the *same* seeded
+/// VictimSelector streams as the real scheduler, with thief traffic
+/// serialized per victim deque on its steal_free_at (the CAS'd top index
+/// behaves as a serial resource among thieves). The owner/thief race for a
+/// deque's final element is not modeled (see CostModel). All state is
+/// guarded by the SequentialRole capability exactly like VirtualQueue's.
 class VirtualDeques {
  public:
   VirtualDeques(std::size_t workers, const CostModel& costs,
@@ -218,7 +220,7 @@ class VirtualDeques {
         continue;
       }
       const double avail =
-          std::max(d.slots[d.head].available_at, d.lock_free_at);
+          std::max(d.slots[d.head].available_at, d.steal_free_at);
       if (avail <= now) {  // ready right now: the sweep stops here
         plan.valid = true;
         plan.victim = victim;
@@ -239,8 +241,9 @@ class VirtualDeques {
 
   /// Commits a planned steal for a thief whose sweep begins at its current
   /// clock: failed probes are charged first, then the successful probe and
-  /// the victim-deque critical section (serialized on that deque's lock).
-  /// Returns the thief's clock after the hand-off.
+  /// the steal CAS/hand-off (serialized on that deque's steal_free_at —
+  /// thieves targeting one deque pass the contended top index around one
+  /// at a time). Returns the thief's clock after the hand-off.
   double commit_steal(const StealPlan& plan, double thief_clock, Task& out)
       GENTRIUS_REQUIRES(role_) {
     GENTRIUS_DCHECK(plan.valid);
@@ -251,11 +254,11 @@ class VirtualDeques {
                           (costs_->steal_attempt_cost + costs_->failed_probe_cost);
     const double start = std::max(probed, plan.available_at);
     const double end =
-        start + costs_->steal_attempt_cost + costs_->deque_lock_cost;
+        start + costs_->steal_attempt_cost + costs_->deque_steal_cost;
     swap_out(out, d.slots[d.head].task);
     d.head = (d.head + 1) % d.slots.size();
     --d.size;
-    d.lock_free_at = end;
+    d.steal_free_at = end;
     ++stolen_;
     probes_ += plan.failed_probes + 1;
     failed_probes_ += plan.failed_probes;
@@ -267,17 +270,16 @@ class VirtualDeques {
   }
 
   /// Owner-side LIFO pop (the real acquire()'s first resort): takes the
-  /// newest task from the worker's own ring, serialized on the ring's lock
-  /// (a thief may hold it). Returns the owner's clock after the pop.
+  /// newest task from the worker's own ring. The lock-free owner path is
+  /// never serialized against thieves, so the pop is charged flat at
+  /// deque_owner_cost. Returns the owner's clock after the pop.
   double own_pop(std::size_t tid, double now, Task& out)
       GENTRIUS_REQUIRES(role_) {
     Ring& d = deques_[tid];
     GENTRIUS_DCHECK(d.size > 0);
-    const double start = std::max(now, d.lock_free_at);
-    const double end = start + costs_->deque_lock_cost;
+    const double end = now + costs_->deque_owner_cost;
     --d.size;
     swap_out(out, d.slots[(d.head + d.size) % d.slots.size()].task);
-    d.lock_free_at = end;
     return end;
   }
 
@@ -302,7 +304,7 @@ class VirtualDeques {
     std::vector<Entry> slots;
     std::size_t head = 0;
     std::size_t size = 0;
-    double lock_free_at = 0.0;
+    double steal_free_at = 0.0;  ///< thief-side serial resource (top CAS)
     std::uint64_t rejections = 0;
     std::size_t max_depth = 0;
   };
@@ -323,9 +325,10 @@ class VirtualDeques {
       return false;
     }
     GENTRIUS_DCHECK(producer_clock_ != nullptr);
-    const double start = std::max(*producer_clock_, d.lock_free_at);
-    *producer_clock_ = start + costs_->deque_lock_cost;
-    d.lock_free_at = *producer_clock_;
+    // Owner pushes are lock-free and uncontended: flat charge, no
+    // serialization against thieves (the release-store publish needs no
+    // wait on the thief-side top CAS).
+    *producer_clock_ += costs_->deque_owner_cost;
     Entry& slot = d.slots[(d.head + d.size) % d.slots.size()];
     swap_out(slot.task, task);
     slot.available_at = *producer_clock_;

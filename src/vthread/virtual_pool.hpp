@@ -40,22 +40,30 @@ struct CostModel {
   double queue_cost = 0.5;    ///< one queue push or pop (critical section)
   double spawn_cost = 200.0;  ///< per-thread creation/teardown (N_t > 1 only)
 
-  // Distributed-scheduler terms (Options::Scheduler::kDistributedDeques).
-  // Lock operations are modeled as serial resources: an operation on a lock
-  // begins no earlier than the lock's previous release, so the central
-  // queue's single lock saturates under aggregate hand-off demand while the
-  // per-deque locks only serialize the owner/thief pairs that actually
-  // collide — the contention asymmetry the scheduler exists to exploit.
+  // Distributed-scheduler terms (Options::Scheduler::kDistributedDeques),
+  // mirroring the lock-free Chase-Lev StealDeque. The owner's push/pop is
+  // an uncontended atomic path — cheap and never serialized against other
+  // workers. A steal is a CAS on the victim's top index: thieves targeting
+  // the same deque hand the contended cache line around one at a time, so
+  // steals are modeled as a serial resource per deque (an operation begins
+  // no earlier than the previous steal's completion) while owner
+  // operations are charged flat and unserialized. The owner/thief race for
+  // the final element is deliberately not modeled: it costs one extra CAS
+  // on a line the participants already hold, is rare (it needs a
+  // one-element deque and a simultaneous probe), and either resolution
+  // keeps the task counted exactly once.
   double steal_attempt_cost = 0.05;  ///< probing one victim deque
   double failed_probe_cost = 0.02;   ///< surcharge when the probe found nothing
-  double deque_lock_cost = 0.5;      ///< one deque push/pop/steal critical section
+  double deque_owner_cost = 0.08;    ///< one owner push/pop (uncontended atomics)
+  double deque_steal_cost = 0.3;     ///< one steal CAS + hand-off (serialized per deque)
   /// Per-op surcharge on the central queue's mutex for each *additional*
   /// worker sharing it (same shape as flush_contention): hand-off of a
   /// contended cache line costs roughly linearly in the number of cores
   /// bouncing it, so a lock shared by 48 workers is far more expensive per
   /// acquisition than an uncontended one. The per-worker deques do not pay
-  /// this term — each deque is shared by its owner plus at most one thief
-  /// at a time, which the flat deque_lock_cost already represents.
+  /// this term — owner traffic is private and thief traffic serializes
+  /// only on the one deque being robbed, which deque_steal_cost's serial-
+  /// resource treatment already represents.
   double queue_contention = 0.15;
   /// Atomic counter publication: a few hundred ns = a few percent of a state
   /// expansion (paper §III-B cites [18]: up to a few thousand cycles).

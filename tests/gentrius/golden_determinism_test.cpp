@@ -262,6 +262,15 @@ std::string build_report() {
             << r.intermediate_states << " trees " << r.stand_trees
             << " dead_ends " << r.dead_ends << " stand_hash "
             << stand_set_hash(r.trees) << "\n";
+        // The deque *schedule* itself (not just its totals) is a pure
+        // function of the seed under the simulator: pin the virtual
+        // makespan and steal count so cost-model or deque-protocol edits
+        // that shift the schedule are visible here. Makespan is printed in
+        // centi-units to stay stable under float formatting.
+        out << "  deques-schedule nt=" << nt << " makespan_cu "
+            << static_cast<std::uint64_t>(r.virtual_makespan * 100.0 + 0.5)
+            << " stolen " << r.sched.tasks_stolen << " steal_attempts "
+            << r.sched.steal_attempts << "\n";
       }
       for (const std::size_t nt : {2UL, 4UL}) {
         const auto r = parallel::run_parallel(problem, dopts, nt);

@@ -263,6 +263,111 @@ TEST(RaceStress, DequeStealStormVersusBroadcastStop) {
   }
 }
 
+// --- raw Chase-Lev deque: owner loop versus a steal storm ------------------
+//
+// Below the scheduler, the lock-free StealDeque itself: one owner pushes
+// sequence-tagged tasks and pops interleaved while several thieves steal
+// concurrently. Every pushed task must surface exactly once — at the owner
+// or at exactly one thief — across every interleaving of the owner's
+// bottom_ updates with the thieves' top_ CAS. The per-sequence tally turns
+// both a lost hand-off and a duplicated one into a failure; under
+// GENTRIUS_SAN=thread any unsynchronized ring access is a race report.
+TEST(RaceStress, LockFreeDequeExactlyOnceUnderStealStorm) {
+  constexpr int kTasks = 20000;
+  constexpr std::size_t kThieves = 3;
+
+  StealDeque deque(/*capacity=*/8, /*max_thieves=*/kThieves);
+  std::vector<std::atomic<int>> seen(kTasks);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<bool> owner_done{false};
+
+  const auto record = [&](const core::Task& t) {
+    seen[static_cast<int>(t.next_taxon)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (std::size_t i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      core::Task out;
+      // Keep probing until the owner is done AND the deque reads empty;
+      // a failed steal during the storm is just a lost race.
+      for (;;) {
+        if (deque.steal(out)) {
+          record(out);
+        } else if (owner_done.load(std::memory_order_acquire) &&
+                   deque.size() == 0) {
+          return;
+        } else {
+          std::this_thread::yield();  // single-core hosts: let the owner run
+        }
+      }
+    });
+  }
+
+  core::Task out;
+  for (int seq = 0; seq < kTasks; ++seq) {
+    core::Task t = make_task(seq);
+    while (!deque.owner_push(t)) {
+      // Ring full: drain one (this also exercises pop racing the thieves).
+      if (deque.owner_pop(out)) record(out);
+    }
+    // Interleave owner pops so the last-element CAS window is hit often.
+    if (seq % 3 == 0 && deque.owner_pop(out)) record(out);
+  }
+  while (deque.owner_pop(out)) record(out);
+  owner_done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  for (int seq = 0; seq < kTasks; ++seq) {
+    ASSERT_EQ(seen[seq].load(), 1)
+        << "task " << seq << " was lost or duplicated";
+  }
+}
+
+// --- raw Chase-Lev deque: the one-element owner/thief race -----------------
+//
+// Capacity 1 pins every round on the narrowest window in the protocol: the
+// owner's bottom_ decrement racing the thief's top_ CAS for the same final
+// element. Exactly one side may win each round; the loser must observe an
+// empty deque, never a duplicate or a stale task.
+TEST(RaceStress, LockFreeDequeLastElementRaceHandsOffExactlyOnce) {
+  constexpr int kRounds = 4000;
+  StealDeque deque(/*capacity=*/1, /*max_thieves=*/1);
+  std::vector<std::atomic<int>> seen(kRounds);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<int> round_ready{-1};
+  std::atomic<int> round_done{-1};
+
+  std::thread thief([&] {
+    core::Task out;
+    for (int r = 0; r < kRounds; ++r) {
+      while (round_ready.load(std::memory_order_acquire) < r)
+        std::this_thread::yield();
+      if (deque.steal(out))
+        seen[static_cast<int>(out.next_taxon)].fetch_add(
+            1, std::memory_order_relaxed);
+      round_done.store(r, std::memory_order_release);
+    }
+  });
+
+  core::Task out;
+  for (int r = 0; r < kRounds; ++r) {
+    core::Task t = make_task(r);
+    ASSERT_TRUE(deque.owner_push(t));
+    round_ready.store(r, std::memory_order_release);
+    if (deque.owner_pop(out))
+      seen[static_cast<int>(out.next_taxon)].fetch_add(
+          1, std::memory_order_relaxed);
+    while (round_done.load(std::memory_order_acquire) < r)
+      std::this_thread::yield();
+    ASSERT_EQ(seen[r].load(), 1)
+        << "round " << r << ": the final element must go to exactly one side";
+    ASSERT_EQ(deque.size(), 0u);
+  }
+  thief.join();
+}
+
 // --- counter-flush storms across >= 8 threads ------------------------------
 //
 // Every thread owns a LocalCounters with tiny batch sizes and publishes into

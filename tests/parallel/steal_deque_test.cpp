@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "parallel/steal_deque.hpp"
@@ -26,6 +27,43 @@ core::Task make_task(int tag) {
 bool push(StealDeque& d, core::Task t) { return d.owner_push(t); }
 
 int tag_of(const core::Task& t) { return static_cast<int>(t.next_taxon); }
+
+// The zero-worker VictimSelector state is unrepresentable by construction:
+// no default constructor, and n_workers >= 1 is checked. The static_assert
+// makes the "no default constructor" half a compile-time contract.
+static_assert(!std::is_default_constructible_v<VictimSelector>,
+              "a VictimSelector without a worker count must not compile");
+
+TEST(VictimSelector, SingleWorkerAlwaysSweepsFromZero) {
+  VictimSelector sel(/*seed=*/123, /*tid=*/0, /*n_workers=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sel.begin_sweep(), 0u);
+}
+
+TEST(VictimSelector, SweepStartsStayInRangeAndCoverAllWorkers) {
+  constexpr std::size_t kWorkers = 5;
+  VictimSelector sel(/*seed=*/99, /*tid=*/2, kWorkers);
+  std::vector<bool> hit(kWorkers, false);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t v = sel.begin_sweep();
+    ASSERT_LT(v, kWorkers);
+    hit[v] = true;
+  }
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    EXPECT_TRUE(hit[w]) << "worker " << w << " never chosen as sweep start";
+}
+
+TEST(VictimSelector, SeededSelectionIsDeterministicPerThread) {
+  VictimSelector a(/*seed=*/7, /*tid=*/3, /*n_workers=*/8);
+  VictimSelector b(/*seed=*/7, /*tid=*/3, /*n_workers=*/8);
+  VictimSelector c(/*seed=*/7, /*tid=*/4, /*n_workers=*/8);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t va = a.begin_sweep();
+    EXPECT_EQ(va, b.begin_sweep());
+    differs |= (va != c.begin_sweep());
+  }
+  EXPECT_TRUE(differs) << "different tids must not share a victim sequence";
+}
 
 TEST(StealDeque, OwnerPopsLifoThievesStealFifo) {
   StealDeque d(4);

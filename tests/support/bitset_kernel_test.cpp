@@ -1,0 +1,197 @@
+// Differential tests for the fused Bitset kernels (restrict_and_count,
+// subtract_and_test, relation_to, for_each_and, for_each_diff).
+//
+// Each fused kernel replaces a multi-pass composition of the primitive
+// operations it was derived from; here every kernel is pinned against that
+// scalar composition on randomized inputs. Universe sizes deliberately
+// straddle the word boundaries (0, 1, 63, 64, 65, 127, 128, 1000) so the
+// tail-word masking path is exercised alongside whole-word blocks, and the
+// empty universe (size 0: zero words) must be a well-defined no-op for
+// every kernel.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "support/bitset.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::support {
+namespace {
+
+constexpr std::size_t kSizes[] = {0, 1, 63, 64, 65, 127, 128, 1000};
+constexpr int kTrialsPerSize = 40;
+
+/// Random bitset over [0, n) with the given fill probability (in 1/8ths,
+/// so density sweeps from near-empty to near-full across trials).
+Bitset random_set(Rng& rng, std::size_t n, int eighths) {
+  Bitset b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.below(8) < static_cast<std::uint64_t>(eighths)) b.set(i);
+  return b;
+}
+
+/// Scalar reference for *this ∩ other built bit by bit.
+Bitset scalar_intersection(const Bitset& a, const Bitset& b) {
+  Bitset out(a.universe_size());
+  for (std::size_t i = 0; i < a.universe_size(); ++i)
+    if (a.test(i) && b.test(i)) out.set(i);
+  return out;
+}
+
+TEST(BitsetKernels, RestrictAndCountMatchesCopyMaskCount) {
+  Rng rng(20260808);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+      const Bitset a = random_set(rng, n, trial % 9);
+      const Bitset b = random_set(rng, n, (trial * 3 + 1) % 9);
+      const Bitset want = scalar_intersection(a, b);
+
+      Bitset out(n);
+      const std::size_t c = a.restrict_and_count(b, out);
+      EXPECT_EQ(out, want) << "n=" << n << " trial=" << trial;
+      EXPECT_EQ(c, want.count()) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BitsetKernels, RestrictAndCountResizesOutput) {
+  Rng rng(7);
+  const Bitset a = random_set(rng, 130, 4);
+  const Bitset b = random_set(rng, 130, 4);
+  Bitset out(5);  // wrong universe: the kernel must adopt a's universe
+  const std::size_t c = a.restrict_and_count(b, out);
+  EXPECT_EQ(out.universe_size(), 130u);
+  EXPECT_EQ(c, scalar_intersection(a, b).count());
+}
+
+TEST(BitsetKernels, RestrictAndCountAllowsAliasedOutput) {
+  Rng rng(11);
+  for (const std::size_t n : {65UL, 128UL}) {
+    const Bitset a = random_set(rng, n, 5);
+    const Bitset b = random_set(rng, n, 5);
+    const Bitset want = scalar_intersection(a, b);
+    Bitset self = a;
+    EXPECT_EQ(self.restrict_and_count(b, self), want.count());
+    EXPECT_EQ(self, want);
+  }
+}
+
+TEST(BitsetKernels, SubtractAndTestMatchesSubtractThenEmpty) {
+  Rng rng(31337);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+      const Bitset a = random_set(rng, n, trial % 9);
+      const Bitset b = random_set(rng, n, (trial * 5 + 2) % 9);
+
+      Bitset ref = a;
+      ref.subtract(b);
+
+      Bitset fused = a;
+      const bool any = fused.subtract_and_test(b);
+      EXPECT_EQ(fused, ref) << "n=" << n << " trial=" << trial;
+      EXPECT_EQ(any, !ref.empty()) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BitsetKernels, RelationToMatchesIntersectsAndSubsetPair) {
+  Rng rng(4242);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+      // Skewed densities so all three relations actually occur: sparse vs
+      // dense inputs make subsets likely, disjoint pairs come from the
+      // near-empty trials.
+      const Bitset a = random_set(rng, n, trial % 4);
+      Bitset b = random_set(rng, n, 4 + trial % 5);
+      if (trial % 7 == 0) b |= a;  // force a genuine superset sometimes
+
+      const auto got = a.relation_to(b);
+      // Documented contract: empty a (no shared element) is kDisjoint even
+      // though it is vacuously a subset.
+      Bitset::Relation want;
+      if (!a.intersects(b))
+        want = Bitset::Relation::kDisjoint;
+      else if (a.is_subset_of(b))
+        want = Bitset::Relation::kSubset;
+      else
+        want = Bitset::Relation::kOverlap;
+      EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BitsetKernels, RelationToEmptyUniverseIsDisjoint) {
+  const Bitset a(0), b(0);
+  EXPECT_EQ(a.relation_to(b), Bitset::Relation::kDisjoint);
+}
+
+TEST(BitsetKernels, ForEachAndMatchesFilteredForEach) {
+  Rng rng(999);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+      const Bitset a = random_set(rng, n, 1 + trial % 7);
+      const Bitset b = random_set(rng, n, 1 + (trial * 3) % 7);
+
+      std::vector<std::size_t> want;
+      a.for_each([&](std::size_t i) {
+        if (b.test(i)) want.push_back(i);
+      });
+      std::vector<std::size_t> got;
+      a.for_each_and(b, [&](std::size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BitsetKernels, ForEachDiffMatchesFilteredForEach) {
+  Rng rng(606);
+  for (const std::size_t n : kSizes) {
+    for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+      const Bitset a = random_set(rng, n, 1 + trial % 7);
+      const Bitset b = random_set(rng, n, 1 + (trial * 5) % 7);
+
+      std::vector<std::size_t> want;
+      a.for_each([&](std::size_t i) {
+        if (!b.test(i)) want.push_back(i);
+      });
+      std::vector<std::size_t> got;
+      a.for_each_diff(b, [&](std::size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, want) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(BitsetKernels, EmptyUniverseKernelsAreNoOps) {
+  Bitset a(0), b(0), out(0);
+  EXPECT_EQ(a.restrict_and_count(b, out), 0u);
+  EXPECT_FALSE(a.subtract_and_test(b));
+  int calls = 0;
+  a.for_each_and(b, [&](std::size_t) { ++calls; });
+  a.for_each_diff(b, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BitsetKernels, TailWordBitsStayMasked) {
+  // A 65-bit universe leaves 63 dead bits in the second word. The fused
+  // kernels must neither read garbage from nor write garbage into them:
+  // after any kernel, count() must equal the number of live indices.
+  Bitset a(65), b(65);
+  a.set(0);
+  a.set(64);
+  b.set(64);
+  Bitset out(65);
+  EXPECT_EQ(a.restrict_and_count(b, out), 1u);
+  EXPECT_EQ(out.count(), 1u);
+  EXPECT_TRUE(out.test(64));
+
+  Bitset d = a;
+  EXPECT_TRUE(d.subtract_and_test(b));  // index 0 survives
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(0));
+  EXPECT_FALSE(d.subtract_and_test(a));  // now empty
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace gentrius::support

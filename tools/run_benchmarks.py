@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Benchmark regression harness: runs the engine micro-benchmarks and emits
-a machine-readable BENCH_5.json so the perf trajectory is comparable across
+a machine-readable BENCH_6.json so the perf trajectory is comparable across
 PRs.
 
 What it runs (from a Release build tree):
@@ -15,13 +15,23 @@ What it runs (from a Release build tree):
     deterministic, so these numbers are exact across machines and gate
     tightly.
 
-Output schema (BENCH_5.json):
+Wall-clock micro-benchmarks run with >= 4 repetitions by default and the
+*median* across repetitions is the headline number. The PR 5 post-mortem
+(docs/PERFORMANCE.md) showed why: a single repetition on a noisy one-core
+host mis-measured BM_FullStateExpansion by ~10% and was chased as a code
+regression. Each micro entry records the repetition count and the spread
+(cv) so a noisy reading is visible in the report itself.
+
+Output schema (BENCH_6.json):
   {
-    "schema": "gentrius-bench-5",
+    "schema": "gentrius-bench-6",
     "baseline": {...},            # pinned pre-PR-4 reference numbers
     "micro_engine": {name: {"real_time_ns", "items_per_second",
-                            "states_per_sec"}},
-    "mapping_update": {"mean_share_percent": float | null},
+                            "states_per_sec",      # medians over repetitions
+                            "repetitions": int,
+                            "cv_percent": float | null}},
+    "mapping_update": {"mean_share_percent": float | null,
+                       "repetitions": int},
     "scheduler_sweep": {"instance": str, "serial_makespan": float,
                         "central" | "distributed":
                             {nt: {"makespan", "speedup", ...}}} | null,
@@ -34,12 +44,14 @@ Output schema (BENCH_5.json):
 Typical use:
   python3 tools/run_benchmarks.py --build-dir build-bench --schedulers
   python3 tools/run_benchmarks.py --min-time 0.1 --mapping-scale 0.2 \
-      --schedulers --check-against BENCH_5.json       # CI smoke mode
+      --schedulers --check-against BENCH_6.json       # CI smoke mode
 
---check-against compares the fresh multi-constraint states/s (and, when
-both reports carry a scheduler sweep, the distributed speedup at N_t = 48)
-against the checked-in baseline and exits non-zero on a >2x regression
-(the CI gate).
+--check-against compares every micro-benchmark present in both reports
+(medians vs medians: states/s and items/s must not fall below, latency-only
+micros such as BM_FullStateExpansion must not rise above, baseline within
+the --max-regression factor) plus, when both reports carry a scheduler
+sweep, the distributed speedup at N_t = 48. Exits non-zero on any
+regression (the CI gate).
 """
 
 from __future__ import annotations
@@ -78,18 +90,39 @@ def run_micro_engine(build_dir: pathlib.Path, min_time: float | None,
     print(f"+ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     data = json.loads(proc.stdout)
-    out = {}
+    out: dict = {}
+    # With repetitions google-benchmark emits one aggregate row per statistic
+    # (mean/median/stddev/cv). The median is the headline value — robust to
+    # the one-off scheduler hiccups that dominate single-core containers —
+    # and the cv is recorded alongside so a noisy run is visible in the
+    # report rather than silently trusted.
     for b in data.get("benchmarks", []):
-        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
-            continue
         name = b.get("run_name", b["name"])
-        entry = {
-            "real_time_ns": to_ns(b.get("real_time", 0.0), b.get("time_unit", "ns")),
-            "items_per_second": b.get("items_per_second"),
-        }
-        if "states/s" in b:
-            entry["states_per_sec"] = b["states/s"]
-        out[name] = entry
+        agg = b.get("aggregate_name")
+        if b.get("run_type") == "aggregate":
+            if agg == "median":
+                entry = out.setdefault(name, {})
+                entry["real_time_ns"] = to_ns(b.get("real_time", 0.0),
+                                              b.get("time_unit", "ns"))
+                entry["items_per_second"] = b.get("items_per_second")
+                if "states/s" in b:
+                    entry["states_per_sec"] = b["states/s"]
+                entry["repetitions"] = b.get("repetitions", repetitions)
+            elif agg == "cv":
+                # cv rows report the ratio in real_time (dimensionless).
+                out.setdefault(name, {})["cv_percent"] = (
+                    b.get("real_time", 0.0) * 100.0)
+        elif repetitions <= 1:
+            entry = {
+                "real_time_ns": to_ns(b.get("real_time", 0.0),
+                                      b.get("time_unit", "ns")),
+                "items_per_second": b.get("items_per_second"),
+                "repetitions": 1,
+                "cv_percent": None,
+            }
+            if "states/s" in b:
+                entry["states_per_sec"] = b["states/s"]
+            out[name] = entry
     return out
 
 
@@ -98,19 +131,22 @@ def to_ns(value: float, unit: str) -> float:
     return value * scale
 
 
-def run_mapping_update(build_dir: pathlib.Path, scale: float) -> dict:
+def run_mapping_update(build_dir: pathlib.Path, scale: float,
+                       reps: int = 5) -> dict:
     exe = build_dir / "bench" / "bench_mapping_update"
     if not exe.exists():
         sys.exit(f"error: {exe} not found - build the bench targets first "
                  f"(cmake --build {build_dir} --target bench_mapping_update)")
-    cmd = [str(exe), str(scale)]
+    cmd = [str(exe), str(scale), str(reps)]
     print(f"+ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     m = re.search(r"mean share of runtime the incremental scheme avoids:\s*"
                   r"([0-9.]+)%", proc.stdout)
+    reps = re.search(r"medians of (\d+) runs per regime", proc.stdout)
     return {
         "scale": scale,
         "mean_share_percent": float(m.group(1)) if m else None,
+        "repetitions": int(reps.group(1)) if reps else 1,
     }
 
 
@@ -199,31 +235,40 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build-bench", type=pathlib.Path,
                     help="Release build tree containing bench/ binaries")
-    ap.add_argument("--output", default="BENCH_5.json", type=pathlib.Path)
+    ap.add_argument("--output", default="BENCH_6.json", type=pathlib.Path)
     ap.add_argument("--min-time", type=float, default=None,
                     help="google-benchmark per-benchmark min time, seconds "
                          "(default: library default; use 0.1 for CI smoke)")
-    ap.add_argument("--repetitions", type=int, default=1)
+    ap.add_argument("--repetitions", type=int, default=4,
+                    help="repetitions per micro-benchmark; the median is "
+                         "reported (default 4 — single-rep wall-clock "
+                         "numbers proved untrustworthy, see the PR 5 "
+                         "post-mortem in docs/PERFORMANCE.md)")
     ap.add_argument("--mapping-scale", type=float, default=1.0,
                     help="corpus scale for bench_mapping_update "
                          "(0.2 keeps the CI smoke run short)")
+    ap.add_argument("--mapping-reps", type=int, default=5,
+                    help="interleaved runs per regime in "
+                         "bench_mapping_update; the share is computed "
+                         "from medians (default 5)")
     ap.add_argument("--skip-mapping-update", action="store_true",
                     help="only run bench_micro_engine")
     ap.add_argument("--schedulers", action="store_true",
                     help="also run the central vs distributed scheduler "
                          "sweep (bench_work_stealing_ablation --schedulers)")
     ap.add_argument("--check-against", type=pathlib.Path, default=None,
-                    help="baseline BENCH_5.json; exit non-zero when the "
-                         "multi-constraint states/s (or the distributed "
-                         "speedup at N_t=48, when both reports have a "
-                         "sweep) regressed by more than --max-regression")
+                    help="baseline BENCH_N.json; exit non-zero when any "
+                         "micro-benchmark present in both reports (or the "
+                         "distributed speedup at N_t=48, when both reports "
+                         "have a sweep) regressed by more than "
+                         "--max-regression")
     ap.add_argument("--max-regression", type=float, default=2.0,
                     help="regression factor that fails --check-against "
                          "(default 2.0 = fail when less than half as fast)")
     args = ap.parse_args()
 
     report = {
-        "schema": "gentrius-bench-5",
+        "schema": "gentrius-bench-6",
         "generated_by": "tools/run_benchmarks.py",
         "build_dir": str(args.build_dir),
         "baseline": {
@@ -237,7 +282,8 @@ def main() -> int:
                                          args.repetitions),
         "mapping_update": (None if args.skip_mapping_update else
                            run_mapping_update(args.build_dir,
-                                              args.mapping_scale)),
+                                              args.mapping_scale,
+                                              args.mapping_reps)),
         "scheduler_sweep": (run_scheduler_sweep(args.build_dir)
                             if args.schedulers else None),
     }
@@ -275,11 +321,37 @@ def main() -> int:
                      "derived.multi_constraint_states_per_sec")
         if not sps:
             sys.exit(f"error: fresh run has no {MULTI_BENCH} result")
-        floor = base_sps / args.max_regression
-        verdict = "OK" if sps >= floor else "REGRESSION"
-        print(f"regression check: {sps:,.0f} vs baseline {base_sps:,.0f} "
-              f"(floor {floor:,.0f}): {verdict}")
-        if sps < floor:
+        failed = False
+        # Per-micro diff: every benchmark present in both reports gates.
+        # Throughput micros (states/s, items/s) must not fall below the
+        # floor; latency-only micros — BM_FullStateExpansion is the one
+        # that slipped through the old single-number check — must not rise
+        # above the ceiling.
+        base_micro = base.get("micro_engine") or {}
+        for name in sorted(set(report["micro_engine"]) & set(base_micro)):
+            fresh_e, base_e = report["micro_engine"][name], base_micro[name]
+            fresh_v = fresh_e.get("states_per_sec") or fresh_e.get(
+                "items_per_second")
+            base_v = base_e.get("states_per_sec") or base_e.get(
+                "items_per_second")
+            if fresh_v and base_v:
+                floor = base_v / args.max_regression
+                ok = fresh_v >= floor
+                print(f"micro check: {name} {fresh_v:,.0f}/s vs baseline "
+                      f"{base_v:,.0f}/s (floor {floor:,.0f}): "
+                      f"{'OK' if ok else 'REGRESSION'}")
+            else:
+                fresh_v = fresh_e.get("real_time_ns")
+                base_v = base_e.get("real_time_ns")
+                if not (fresh_v and base_v):
+                    continue
+                ceiling = base_v * args.max_regression
+                ok = fresh_v <= ceiling
+                print(f"micro check: {name} {fresh_v:,.0f}ns vs baseline "
+                      f"{base_v:,.0f}ns (ceiling {ceiling:,.0f}ns): "
+                      f"{'OK' if ok else 'REGRESSION'}")
+            failed |= not ok
+        if failed:
             return 1
         base_sweep = base.get("scheduler_sweep")
         if report["scheduler_sweep"] and base_sweep:
