@@ -45,17 +45,23 @@ class CounterSink {
   explicit CounterSink(const StoppingRules& rules) : rules_(rules) {}
 
   void add_stand_trees(std::uint64_t d) {
+    // order: pure tally — fetch_add is atomic on its own; cross-thread
+    // publication happens at thread join, and the threshold test below
+    // only needs this thread's own returned value
     if (stand_trees_.fetch_add(d, std::memory_order_relaxed) + d >=
         rules_.max_stand_trees)
       request_stop(StopReason::kTreeLimit);
   }
 
   void add_states(std::uint64_t d) {
-    if (states_.fetch_add(d, std::memory_order_relaxed) + d >= rules_.max_states)
+    // order: pure tally, same reasoning as add_stand_trees
+    if (states_.fetch_add(d, std::memory_order_relaxed) + d >=
+        rules_.max_states)
       request_stop(StopReason::kStateLimit);
   }
 
   void add_dead_ends(std::uint64_t d) {
+    // order: pure tally; totals are read after workers join
     dead_ends_.fetch_add(d, std::memory_order_relaxed);
   }
 
@@ -64,6 +70,7 @@ class CounterSink {
   /// paper's 168 h limit); equivalence tests disable this rule, so it
   /// cannot perturb serial-vs-parallel comparisons.
   void check_time() {
+    // order: pure tally; totals are read after workers join
     time_checks_.fetch_add(1, std::memory_order_relaxed);
     if (clock_.seconds() >= rules_.max_seconds)
       request_stop(StopReason::kTimeLimit);
@@ -74,36 +81,57 @@ class CounterSink {
   /// scheduler and clear only after every worker has been joined; the
   /// pointee must stay alive in between.
   void set_stop_waker(StopWaker* waker) {
+    // order: release publishes the pointee's construction to the acquire
+    // load in request_stop
     waker_.store(waker, std::memory_order_release);
   }
 
   void request_stop(StopReason why) {
     int expected = -1;
+    // order: first-writer-wins tag; readers only consume it after
+    // stop_requested() returns true, whose acquire orders this write
     reason_.compare_exchange_strong(expected, static_cast<int>(why),
                                     std::memory_order_relaxed);
+    // order: release pairs with stop_requested()'s acquire, making the
+    // reason_ write above visible to anyone who observed the stop
     stop_.store(true, std::memory_order_release);
-    // Unpark blocked consumers *after* the flag is visible, so a woken
-    // worker re-checking its predicate observes the stop.
+    // order: pairs with set_stop_waker's release so the waker object is
+    // fully constructed here; unpark happens *after* the flag store so a
+    // woken worker re-checking its predicate observes the stop
     if (StopWaker* w = waker_.load(std::memory_order_acquire)) w->wake_all();
   }
 
   bool stop_requested() const {
+    // order: pairs with request_stop's release; a true read carries the
+    // reason_ value with it
     return stop_.load(std::memory_order_acquire);
   }
 
   /// The rule that fired, or kCompleted when none did.
   StopReason reason() const {
+    // order: callers read this after observing stop_ (acquire) or after
+    // joining the pool; both order the reason_ write before this load
     const int r = reason_.load(std::memory_order_relaxed);
     return r < 0 ? StopReason::kCompleted : static_cast<StopReason>(r);
   }
 
-  std::uint64_t stand_trees() const { return stand_trees_.load(std::memory_order_relaxed); }
-  std::uint64_t states() const { return states_.load(std::memory_order_relaxed); }
-  std::uint64_t dead_ends() const { return dead_ends_.load(std::memory_order_relaxed); }
+  std::uint64_t stand_trees() const {
+    // order: pure tally, read after workers join
+    return stand_trees_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t states() const {
+    // order: pure tally, read after workers join
+    return states_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dead_ends() const {
+    // order: pure tally, read after workers join
+    return dead_ends_.load(std::memory_order_relaxed);
+  }
 
   /// How many times the time rule was evaluated (each one is a clock
   /// syscall — the observable the flush-period throttle reduces).
   std::uint64_t time_checks() const {
+    // order: pure tally, read after workers join
     return time_checks_.load(std::memory_order_relaxed);
   }
 

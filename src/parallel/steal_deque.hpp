@@ -105,6 +105,26 @@ class VictimSelector {
 /// `max_thieves` bounds how many threads may call steal() concurrently
 /// (the scheduler passes its worker count); it sizes the node pool so the
 /// free stack can never be empty while the ring has room.
+//
+// Declared happens-before protocol for the top_/bottom_/ring_ triple,
+// checked by gentrius-analyze (atomic-hb): each row is a function's exact
+// sequence of atomic ops on the covered variables plus fences, in source
+// order; cas lists success,failure orders. Any function touching these
+// variables must appear here, so the Chase-Lev choreography cannot drift
+// without this table (and its reasoning) being edited alongside.
+//
+// hb-table: StealDeque
+//   try_reserve: bottom_.load relaxed ; top_.load acquire
+//   owner_push: bottom_.load relaxed ; top_.load acquire ;
+//     ring_.store relaxed ; bottom_.store release
+//   owner_pop: bottom_.load relaxed ; bottom_.store relaxed ;
+//     fence seq_cst ; top_.load relaxed ; bottom_.store relaxed ;
+//     ring_.load relaxed ; top_.cas seq_cst,relaxed ;
+//     bottom_.store relaxed ; bottom_.store relaxed
+//   steal: top_.load acquire ; fence seq_cst ; bottom_.load acquire ;
+//     ring_.load relaxed ; top_.cas seq_cst,relaxed
+//   size: bottom_.load acquire ; top_.load acquire
+// hb-end
 class StealDeque {
  public:
   explicit StealDeque(std::size_t capacity, std::size_t max_thieves = 16)
@@ -124,9 +144,13 @@ class StealDeque {
   /// thieves can only drain, so a non-full observation cannot be
   /// invalidated before the owner's next push.
   bool try_reserve() {
+    // order: owner is the sole bottom_ writer; it re-reads its own value
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // order: pairs with thief top_ CAS; a stale top_ only under-counts
+    // free slots, which is safe for a reservation check
     const std::int64_t t = top_.load(std::memory_order_acquire);
     if (b - t >= capacity_) {
+      // order: monotonic diagnostic counter, read after workers join
       rejections_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -136,20 +160,27 @@ class StealDeque {
   /// Owner side: false when full (the caller keeps its branches). Counts
   /// capacity rejections and tracks the high-water depth. No lock, no CAS.
   bool owner_push(core::Task& task) {
+    // order: owner is the sole bottom_ writer; it re-reads its own value
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // order: pairs with thief top_ CAS so the fullness check never
+    // over-counts occupancy (a stale top_ only rejects early)
     const std::int64_t t = top_.load(std::memory_order_acquire);
     if (b - t >= capacity_) {
+      // order: monotonic diagnostic counter, read after workers join
       rejections_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     Node* n = acquire_node();
     swap_into(n->task, task);
+    // order: the slot write is published by the bottom_ release below
     ring_[static_cast<std::size_t>(b % capacity_)].store(
         n, std::memory_order_relaxed);
-    // Publish: a thief that observes bottom > top acquires the node
-    // pointer and its payload through this release store.
+    // order: publish — a thief that observes bottom > top acquires the
+    // node pointer and its payload through this release store
     bottom_.store(b + 1, std::memory_order_release);
     const std::size_t depth = static_cast<std::size_t>(b + 1 - t);
+    // order: owner-written high-water stat; stats() reads are racy by
+    // design and only consumed after the pool joins
     if (depth > max_depth_.load(std::memory_order_relaxed))
       max_depth_.store(depth, std::memory_order_relaxed);
     return true;
@@ -158,26 +189,37 @@ class StealDeque {
   /// Owner side: newest task (deepest subtree), or false when empty. Only
   /// the race for the final element pays a CAS against thieves.
   bool owner_pop(core::Task& out) {
+    // order: owner-local read-modify of its own index; the seq_cst fence
+    // below orders the decrement against the top_ read
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // order: the decrement itself is made visible by the fence below
     bottom_.store(b, std::memory_order_relaxed);
-    // The store above must be globally visible before the top_ read below
-    // (the Chase-Lev owner/thief symmetry point).
+    // order: the bottom_ store above must be globally visible before the
+    // top_ read below (the Chase-Lev owner/thief symmetry point); pairs
+    // with the fence in steal()
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: fenced; a thief's CAS after this read is caught by the t == b
+    // arbitration below
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t > b) {  // empty: restore bottom
+      // order: owner-only restore; next owner_push republishes with release
       bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
     }
+    // order: owner reads a slot it published itself (program order)
     Node* n =
         ring_[static_cast<std::size_t>(b % capacity_)].load(
             std::memory_order_relaxed);
     if (t == b) {
-      // Last element: contend with thieves on top.
+      // order: last element — seq_cst CAS arbitrates against thieves on
+      // top_; relaxed failure is fine, the value is discarded on loss
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
-        bottom_.store(b + 1, std::memory_order_relaxed);  // thief won
+        // order: owner-only restore after losing the race (thief won)
+        bottom_.store(b + 1, std::memory_order_relaxed);
         return false;
       }
+      // order: owner-only restore; deque is now empty
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     swap_into(out, n->task);
@@ -191,15 +233,24 @@ class StealDeque {
   /// caller — the scheduler treats both as a failed probe and re-checks
   /// pending work before parking, so no task is ever lost.
   bool steal(core::Task& out) {
+    // order: acquire top_ so the ring read below sees at least the slots
+    // published up to this top value
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // order: orders the top_ read before the bottom_ read; pairs with the
+    // fence in owner_pop so thief and owner agree on the last element
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // order: pairs with owner_push's bottom_ release — observing b > t
+    // here makes the slot and payload writes visible
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
-    // Read the node pointer *before* the CAS: once top moves, the owner may
-    // recycle the slot. A failed CAS discards the read untouched.
+    // order: the node pointer was published by the bottom_ release that
+    // made b > t observable; read *before* the CAS — once top moves the
+    // owner may recycle the slot, and a failed CAS discards the read
     Node* n =
         ring_[static_cast<std::size_t>(t % capacity_)].load(
             std::memory_order_relaxed);
+    // order: seq_cst CAS totally orders competing thieves and the owner's
+    // last-element pop; relaxed failure value is discarded
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
       return false;
@@ -209,14 +260,19 @@ class StealDeque {
   }
 
   std::size_t size() const {
+    // order: racy diagnostic snapshot; acquire keeps the pair no staler
+    // than the last publication but the result is advisory anyway
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    // order: same advisory snapshot as the bottom_ read above
     const std::int64_t t = top_.load(std::memory_order_acquire);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
   std::uint64_t rejections() const {
+    // order: monotonic diagnostic counter, read after workers join
     return rejections_.load(std::memory_order_relaxed);
   }
   std::size_t max_depth() const {
+    // order: owner-written stat, read after workers join
     return max_depth_.load(std::memory_order_relaxed);
   }
 
@@ -234,9 +290,13 @@ class StealDeque {
 
   /// Multi-producer free-stack push (owner and thieves both return nodes).
   void push_free(Node* n) {
+    // order: speculative head read; the CAS below validates it
     Node* head = free_head_.load(std::memory_order_relaxed);
     do {
+      // order: the link write is published by the CAS release below
       n->next_free.store(head, std::memory_order_relaxed);
+      // order: release publishes the node's link (and drained payload) to
+      // the owner's acquire pop; failure just reloads the head
     } while (!free_head_.compare_exchange_weak(
         head, n, std::memory_order_release, std::memory_order_relaxed));
   }
@@ -249,9 +309,15 @@ class StealDeque {
   /// and its push_free, and that thief is guaranteed to return it.
   Node* acquire_node() {
     for (;;) {
+      // order: pairs with push_free's CAS release so the head's link is
+      // visible before it is dereferenced below
       Node* head = free_head_.load(std::memory_order_acquire);
       if (head == nullptr) continue;  // thief mid-hand-off: bounded wait
+      // order: the link was made visible by the acquire load above
       Node* next = head->next_free.load(std::memory_order_relaxed);
+      // order: acquire on success re-synchronizes with the latest pusher
+      // (the head may have been re-pushed since the load); relaxed
+      // failure value is discarded by the retry
       if (free_head_.compare_exchange_weak(head, next,
                                            std::memory_order_acquire,
                                            std::memory_order_relaxed))
@@ -295,7 +361,7 @@ class DequeScheduler final : public core::StopWaker {
   class Handle final : public core::TaskSink {
    public:
     Handle(DequeScheduler* sched, std::size_t tid, VictimSelector selector)
-        : sched_(sched), tid_(tid), selector_(selector) {}
+        : sched_(sched), tid_(tid), selector_(std::move(selector)) {}
 
     bool try_push(core::Task& task) override {
       return sched_->push_local(tid_, task);
@@ -321,6 +387,8 @@ class DequeScheduler final : public core::StopWaker {
       GENTRIUS_EXCLUDES(mutex_) {
     GENTRIUS_DCHECK_LT(tid, workers_);
     for (;;) {
+      // order: pairs with the done_ release in the terminating worker /
+      // broadcast_stop; seeing true implies termination state is visible
       if (done_.load(std::memory_order_acquire) || sink.stop_requested())
         return false;
       if (deques_[tid].owner_pop(out)) {
@@ -340,6 +408,8 @@ class DequeScheduler final : public core::StopWaker {
           continue;  // late push: stay busy, sweep again
         GENTRIUS_DCHECK_GT(busy_, 0u);
         if (--busy_ == 0) {
+          // order: release pairs with the done_ acquire loads; readers of
+          // done_ == true see the final termination state
           done_.store(true, std::memory_order_release);
           i_terminated = true;
         } else {
@@ -349,12 +419,15 @@ class DequeScheduler final : public core::StopWaker {
           // one side must see the other, so no push can slip between this
           // predicate check and the wait.
           sleepers_.fetch_add(1, std::memory_order_seq_cst);
+          // order: done_ acquire pairs with its release sites; wake-up
+          // reason must be visible before acting on it
           while (!done_.load(std::memory_order_acquire) &&
                  !sink.stop_requested() &&
                  pending_.load(std::memory_order_seq_cst) == 0) {
             cv_.wait(mutex_);
           }
           sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+          // order: same pairing as the wait predicate above
           if (done_.load(std::memory_order_acquire) || sink.stop_requested())
             return false;  // busy_ stays decremented: this worker is leaving
           ++busy_;
@@ -372,6 +445,8 @@ class DequeScheduler final : public core::StopWaker {
   void broadcast_stop() GENTRIUS_EXCLUDES(mutex_) {
     {
       support::MutexLock lock(mutex_);
+      // order: release pairs with the done_ acquire loads in acquire()
+      // and push_local()
       done_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
@@ -381,8 +456,11 @@ class DequeScheduler final : public core::StopWaker {
 
   core::SchedulerStats stats() const {
     core::SchedulerStats s;
+    // order: monotonic diagnostic counters, read after the pool joins
     s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
+    // order: same join-ordered diagnostic read as above
     s.steal_attempts = probes_.load(std::memory_order_relaxed);
+    // order: same join-ordered diagnostic read as above
     s.failed_steal_probes = failed_probes_.load(std::memory_order_relaxed);
     for (const StealDeque& d : deques_) {
       s.queue_full_rejections += d.rejections();
@@ -406,6 +484,8 @@ class DequeScheduler final : public core::StopWaker {
   // adds tasks to its own deque (and the node pool is sized so a free
   // node is always available when the ring has room).
   bool push_local(std::size_t tid, core::Task& task) {
+    // order: pairs with the done_ release sites; a post-stop push must
+    // observe the rejection state
     if (done_.load(std::memory_order_acquire)) return false;
     if (!deques_[tid].try_reserve()) return false;
     pending_.fetch_add(1, std::memory_order_seq_cst);
@@ -428,12 +508,15 @@ class DequeScheduler final : public core::StopWaker {
     for (std::size_t k = 0; k < workers_; ++k) {
       const std::size_t victim = (start + k) % workers_;
       if (victim == tid) continue;
+      // order: monotonic diagnostic counter, read after the pool joins
       probes_.fetch_add(1, std::memory_order_relaxed);
       if (deques_[victim].steal(out)) {
+        // order: monotonic diagnostic counter, read after the pool joins
         stolen_.fetch_add(1, std::memory_order_relaxed);
         note_taken();
         return true;
       }
+      // order: monotonic diagnostic counter, read after the pool joins
       failed_probes_.fetch_add(1, std::memory_order_relaxed);
     }
     return false;
@@ -450,7 +533,8 @@ class DequeScheduler final : public core::StopWaker {
   std::deque<StealDeque> deques_;  // StealDeque is pinned: not relocatable
   std::vector<Handle> handles_;
 
-  mutable support::Mutex mutex_;  // parking + termination arbitration only
+  // Parking + termination arbitration only.
+  mutable support::Mutex mutex_{support::Rank::kSchedulerSignal};
   support::CondVar cv_;
   std::atomic<std::size_t> pending_{0};   // queued tasks across all deques
   std::atomic<std::size_t> sleepers_{0};  // workers parked on cv_

@@ -142,7 +142,7 @@ class TaskQueue final : public core::TaskSink, public core::StopWaker {
 
  private:
   const std::size_t capacity_;
-  mutable support::Mutex mutex_;
+  mutable support::Mutex mutex_{support::Rank::kTaskQueue};
   support::CondVar cv_;
   std::vector<core::Task> slots_ GENTRIUS_GUARDED_BY(mutex_);  // fixed ring
   std::size_t head_ GENTRIUS_GUARDED_BY(mutex_) = 0;

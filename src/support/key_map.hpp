@@ -131,6 +131,9 @@ class KeyMap {
       if (s.epoch == old_epoch) (*this)[s.key] = s.value;
   }
 
+  // The allocator inside the vector holds a shared_ptr<Arena>, so slots_
+  // co-owns its backing storage; it cannot outlive the arena.
+  // lint:allow(arena-escape)
   ArenaVector<Slot> slots_;
   std::uint32_t epoch_ = 1;
   std::size_t count_ = 0;

@@ -5,34 +5,110 @@
 // add the capability annotations (zero overhead: every method is a single
 // forwarded call) and are the only locking primitives the project uses.
 //
+// Every Mutex additionally carries a compile-time *rank*: a thread may only
+// acquire mutexes in strictly increasing rank order. The discipline makes
+// deadlock impossible by construction (any cycle in a waits-for graph needs
+// one non-increasing edge) and is enforced twice:
+//   * statically, by the lock-rank rule of gentrius-analyze
+//     (tools/gentrius_lint), which builds the acquisition graph over all
+//     MutexLock sites and fails on any non-increasing edge or rank cycle;
+//   * dynamically, in debug/sanitizer builds (GENTRIUS_ENABLE_INVARIANTS),
+//     by a thread-local stack of held ranks checked on every lock(). An
+//     inversion throws InternalError *before* blocking on the mutex, so
+//     tests observe the diagnosis instead of the deadlock.
+// In release builds the validator compiles to nothing.
+//
 // CondVar deliberately exposes only the un-predicated wait: callers re-check
 // their condition in a loop while holding the Mutex, which keeps the guarded
 // reads inside the analyzed caller instead of inside an unannotatable
 // lambda passed through std::condition_variable.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <vector>
 
+#include "support/invariant.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace gentrius::support {
 
 class CondVar;
 
-/// std::mutex with capability annotations.
+/// Lock ranks, outermost-first. Acquire strictly increasing: while holding
+/// a mutex of rank r, only mutexes of rank > r may be acquired. Gaps leave
+/// room to slot new locks into the hierarchy without renumbering. The full
+/// table (owner, what it protects) lives in docs/TOOLING.md.
+enum class Rank : int {
+  kTaskQueue = 10,        // parallel/task_queue.hpp TaskQueue::mutex_
+  kSchedulerSignal = 20,  // parallel/steal_deque.hpp DequeScheduler::mutex_
+  kCounterSink = 30,      // reserved: CounterSink is lock-free today
+  kTest = 100,            // innermost; test fixtures and harness-only locks
+};
+
+namespace detail {
+#if GENTRIUS_ENABLE_INVARIANTS
+/// Ranks of the mutexes this thread currently holds, in acquisition order.
+/// Function-local thread_local so a header-only library gets exactly one
+/// instance per thread across translation units.
+inline std::vector<int>& held_ranks() {
+  thread_local std::vector<int> held;
+  return held;
+}
+#endif
+}  // namespace detail
+
+/// std::mutex with capability annotations and a lock rank.
 class GENTRIUS_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(Rank rank) : rank_(static_cast<int>(rank)) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() GENTRIUS_ACQUIRE() { m_.lock(); }
-  void unlock() GENTRIUS_RELEASE() { m_.unlock(); }
-  bool try_lock() GENTRIUS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() GENTRIUS_ACQUIRE() {
+    check_rank_before_lock();
+    m_.lock();
+    note_locked();
+  }
+  void unlock() GENTRIUS_RELEASE() {
+    note_unlocked();
+    m_.unlock();
+  }
+  bool try_lock() GENTRIUS_TRY_ACQUIRE(true) {
+    // No rank check: try_lock never blocks, so it cannot deadlock; the
+    // held-rank stack still records it so nested lock()s are validated.
+    if (!m_.try_lock()) return false;
+    note_locked();
+    return true;
+  }
+
+  Rank rank() const { return static_cast<Rank>(rank_); }
 
  private:
+  void check_rank_before_lock() const {
+#if GENTRIUS_ENABLE_INVARIANTS
+    for (int held : detail::held_ranks()) {
+      GENTRIUS_DCHECK_OP(<, held, rank_);
+    }
+#endif
+  }
+  void note_locked() const {
+#if GENTRIUS_ENABLE_INVARIANTS
+    detail::held_ranks().push_back(rank_);
+#endif
+  }
+  void note_unlocked() const {
+#if GENTRIUS_ENABLE_INVARIANTS
+    auto& held = detail::held_ranks();
+    auto it = std::find(held.rbegin(), held.rend(), rank_);
+    GENTRIUS_DCHECK(it != held.rend());
+    held.erase(std::next(it).base());
+#endif
+  }
+
   friend class CondVar;
+  const int rank_;
   std::mutex m_;
 };
 
@@ -57,7 +133,9 @@ class CondVar {
 
   /// Atomically releases `mu`, blocks until notified (or spuriously woken),
   /// and reacquires `mu` before returning. The caller must hold `mu` and
-  /// must re-check its predicate in a loop.
+  /// must re-check its predicate in a loop. The rank validator keeps `mu`
+  /// on the held stack across the wait: the thread is blocked and acquires
+  /// nothing meanwhile, and on return it holds `mu` again.
   void wait(Mutex& mu) GENTRIUS_REQUIRES(mu) {
     // Ownership round-trips through a unique_lock because that is the only
     // handle std::condition_variable accepts; adopt/release keeps the

@@ -1,0 +1,12 @@
+"""gentrius-analyze: pluggable static-analysis framework for this repo.
+
+Each rule module under ``rules/`` packages one project-specific analysis:
+what it scans, which finding codes it emits, and a self-test proving the
+rule fires on a seeded violation and honours the ``lint:allow`` escape
+hatch. The CLI (``python3 tools/gentrius_lint``) runs any subset of rules
+and is wired into ctest as ``lint_<rule>`` / ``lint_<rule>_selftest``.
+
+See docs/TOOLING.md ("gentrius-analyze") for the rule catalogue.
+"""
+
+__all__ = ["cli", "core", "rules"]

@@ -1,0 +1,15 @@
+"""Entry point for ``python3 tools/gentrius_lint``.
+
+Running a package directory puts the directory *itself* on sys.path, not
+its parent, so absolute imports of ``gentrius_lint`` would fail; fix the
+path before importing the CLI.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from gentrius_lint.cli import main  # noqa: E402
+
+sys.exit(main())

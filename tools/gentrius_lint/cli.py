@@ -1,0 +1,106 @@
+"""Command-line front end for gentrius-analyze.
+
+    python3 tools/gentrius_lint [--root DIR] [--rules a,b] \
+        [--list-rules | --self-test]
+
+Exit codes: 0 clean, 1 findings (or self-test failures), 2 usage error
+(unknown rule name, unknown allow code, missing scan directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from gentrius_lint import core
+from gentrius_lint.rules import ALL_CODES, ALL_RULES, RULES_BY_NAME
+
+
+def _select_rules(spec: str | None):
+    if not spec:
+        return list(ALL_RULES)
+    selected = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in RULES_BY_NAME:
+            raise core.LintUsageError(
+                f"unknown rule '{name}' (known: {sorted(RULES_BY_NAME)})")
+        selected.append(RULES_BY_NAME[name])
+    return selected
+
+
+def _run_lint(root: pathlib.Path, rules) -> int:
+    cache: dict[str, list[core.SourceFile]] = {}
+
+    def sources_for(dirs: tuple[str, ...]) -> list[core.SourceFile]:
+        key = "|".join(dirs)
+        if key not in cache:
+            cache[key] = core.iter_sources(root, dirs, ALL_CODES)
+        return cache[key]
+
+    findings: list[core.Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(sources_for(rule.dirs), root))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    for finding in findings:
+        print(finding.render())
+    names = ", ".join(rule.name for rule in rules)
+    if findings:
+        print(f"\ngentrius-analyze [{names}]: {len(findings)} finding(s)")
+        return 1
+    print(f"gentrius-analyze [{names}]: clean")
+    return 0
+
+
+def _run_self_tests(rules) -> int:
+    failures = 0
+    for rule in rules:
+        for description, ok in rule.self_test():
+            status = "PASS" if ok else "FAIL"
+            print(f"  [{status}] {rule.name}: {description}")
+            if not ok:
+                failures += 1
+    if failures:
+        print(f"\nself-test: {failures} check(s) failed")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gentrius-analyze",
+        description="project-specific static analysis for gentrius")
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root (default: two levels above this package)")
+    parser.add_argument(
+        "--rules", help="comma-separated rule subset (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run each selected rule against its seeded violations")
+    args = parser.parse_args(argv)
+
+    try:
+        rules = _select_rules(args.rules)
+        if args.list_rules:
+            for rule in rules:
+                codes = ", ".join(sorted(rule.codes))
+                print(f"{rule.name}: {rule.describe()}")
+                print(f"    dirs: {', '.join(rule.dirs)}; codes: {codes}")
+            return 0
+        if args.self_test:
+            return _run_self_tests(rules)
+        return _run_lint(args.root.resolve(), rules)
+    except core.LintUsageError as err:
+        print(f"gentrius-analyze: error: {err.message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

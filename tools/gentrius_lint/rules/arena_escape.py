@@ -1,0 +1,277 @@
+"""Arena-escape rule.
+
+``support::Arena`` memory lives exactly as long as the arena; an
+``ArenaVector``/``ArenaAllocator``-backed container stored somewhere that
+can outlive the arena is a use-after-free waiting for a schedule to
+expose it. The rule enforces the containment contract statically:
+
+``arena-escape`` —
+  * a class/struct member of an arena-backed container type in a class
+    that does not also own the arena (an ``Arena`` or
+    ``shared_ptr<Arena>`` member keeps the storage alive for exactly the
+    member's lifetime, as ``Terrace`` does);
+  * a function whose *return type* is an arena-backed container —
+    handing arena storage past the method scope severs it from the
+    owner's lifetime.
+
+Either may be deliberate (a view type whose contract documents the arena
+outlives it); then the declaration takes a justified
+``// lint:allow(arena-escape)``. ``support/arena.hpp`` itself — the file
+that defines the types — is exempt.
+
+Locals inside function bodies are fine: they die before the method
+returns, inside the owner's lifetime.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from gentrius_lint import core
+
+_ARENA_TYPE_RE = re.compile(
+    r"\b(?:support::)?(?:ArenaVector|ArenaAllocator|AVec)\s*<")
+_OWNER_MEMBER_RE = re.compile(
+    r"(?:shared_ptr\s*<\s*(?:support::)?Arena\s*>|\bArena\b)\s*&?\s*\w+\s*;")
+_CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)")
+_SKIP_MEMBER_PREFIXES = ("using ", "typedef ", "template", "friend ",
+                         "return ")
+_EXEMPT_SUFFIX = "support/arena.hpp"
+
+
+def _class_regions(flat: core.FlatText) -> list[tuple[str, int, int]]:
+    """(name, body_start, body_end) for every class/struct definition.
+    Deduped by body offset so ``template <class T> class X`` records X,
+    not the template parameter."""
+    text = flat.text
+    n = len(text)
+    by_body: dict[int, tuple[str, int]] = {}
+    for m in _CLASS_RE.finditer(text):
+        name = m.group(2)
+        i = m.end()
+        j = core._skip_ws(text, i)
+        if j < n and text[j] == "(":  # attribute macro: class MACRO(..) Name
+            j = core._skip_ws(text, core._skip_balanced(text, j))
+            wm = re.match(r"[A-Za-z_]\w*", text[j:])
+            if not wm:
+                continue
+            name = wm.group(0)
+            i = j + wm.end()
+        depth = 0  # angle-bracket depth while crossing a base clause
+        j = i
+        body = -1
+        while j < n:
+            ch = text[j]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth = max(0, depth - 1)
+            elif ch == "(":
+                j = core._skip_balanced(text, j)
+                continue
+            elif ch == ";" and depth == 0:
+                break  # forward declaration
+            elif ch == "{" and depth == 0:
+                body = j
+                break
+            j += 1
+        if body < 0:
+            continue
+        by_body[body] = (name, core._skip_balanced(text, body))
+    return [(name, start, end) for start, (name, end) in by_body.items()]
+
+
+def _innermost_region(regions: list[tuple[str, int, int]],
+                      offset: int) -> tuple[str, int, int] | None:
+    best = None
+    for region in regions:
+        if region[1] < offset < region[2]:
+            if best is None or region[1] > best[1]:
+                best = region
+    return best
+
+
+def _member_lines(flat: core.FlatText, functions: list[core.FunctionDef],
+                  start: int, end: int) -> list[int]:
+    """1-based lines inside [start, end) that are class-member territory —
+    i.e. not inside any function extent (header, initializer list, body):
+    parameters and init-list expressions are not stored members."""
+    lines = []
+    for lineno in range(flat.line_of(start), flat.line_of(end) + 1):
+        offset = flat.line_starts[lineno - 1]
+        if not (start < offset < end):
+            continue
+        if any(f.name_offset <= offset < f.body_end for f in functions):
+            continue
+        lines.append(lineno)
+    return lines
+
+
+def _returns_arena_type(flat: core.FlatText, fndef: core.FunctionDef) -> bool:
+    text = flat.text
+    boundary = max(text.rfind(";", 0, fndef.name_offset),
+                   text.rfind("{", 0, fndef.name_offset),
+                   text.rfind("}", 0, fndef.name_offset))
+    segment = text[boundary + 1:fndef.name_offset]
+    return bool(_ARENA_TYPE_RE.search(segment))
+
+
+def _lint_file(sf: core.SourceFile) -> list[core.Finding]:
+    if sf.path.replace("\\", "/").endswith(_EXEMPT_SUFFIX):
+        return []
+    findings: list[core.Finding] = []
+    flat = core.FlatText(sf.code_lines)
+    regions = _class_regions(flat)
+    functions = core.extract_functions(flat)
+
+    owner_starts: set[int] = set()
+    for name, start, end in regions:
+        member_lines = _member_lines(flat, functions, start, end)
+        for lineno in member_lines:
+            if _OWNER_MEMBER_RE.search(sf.code_lines[lineno - 1]):
+                owner_starts.add(start)
+                break
+
+    for name, start, end in regions:
+        for lineno in _member_lines(flat, functions, start, end):
+            code = sf.code_lines[lineno - 1].strip()
+            if not _ARENA_TYPE_RE.search(code):
+                continue
+            if code.startswith(_SKIP_MEMBER_PREFIXES):
+                continue
+            offset = flat.line_starts[lineno - 1] + 1
+            inner = _innermost_region(regions, offset)
+            if inner is None or inner[1] != start:
+                continue  # belongs to a nested class; handled there
+            if start in owner_starts:
+                continue
+            if sf.allowed(lineno, "arena-escape"):
+                continue
+            findings.append(core.Finding(
+                sf.path, lineno, "arena-escape",
+                f"arena-backed member in '{name}', which does not own the "
+                "Arena; the container can outlive its storage — hold the "
+                "arena (shared_ptr<Arena> member) or justify with "
+                "lint:allow(arena-escape)",
+                sf.raw_lines[lineno - 1].strip()))
+
+    for fndef in functions:
+        if not _returns_arena_type(flat, fndef):
+            continue
+        if sf.allowed(fndef.header_line, "arena-escape"):
+            continue
+        findings.append(core.Finding(
+            sf.path, fndef.header_line, "arena-escape",
+            f"'{fndef.name}' returns an arena-backed container past its "
+            "method scope, severing it from the arena's lifetime; return "
+            "a plain container or justify with lint:allow(arena-escape)",
+            sf.raw_lines[fndef.header_line - 1].strip()))
+    return findings
+
+
+class ArenaEscapeRule:
+    name = "arena-escape"
+    codes = frozenset({"arena-escape"})
+    dirs = ("src",)
+
+    @staticmethod
+    def describe() -> str:
+        return ("arena-backed containers must not be stored in non-owning "
+                "classes or returned past method scope")
+
+    @staticmethod
+    def check(files: list[core.SourceFile],
+              root: pathlib.Path) -> list[core.Finding]:
+        del root
+        findings: list[core.Finding] = []
+        for sf in files:
+            findings.extend(_lint_file(sf))
+        return findings
+
+    @staticmethod
+    def self_test() -> list[tuple[str, bool]]:
+        return _self_test()
+
+
+def _fires(text: str, path: str = "<seeded>") -> bool:
+    sf = core.SourceFile(path, text, ArenaEscapeRule.codes)
+    return bool(_lint_file(sf))
+
+
+_OWNER_SRC = """\
+class Terrace {
+  std::shared_ptr<support::Arena> arena_;
+  support::ArenaVector<int> row_sum_;
+};
+"""
+
+_ESCAPE_SRC = """\
+class KeyMap {
+  support::ArenaVector<Slot> slots_;
+};
+"""
+
+_RETURN_SRC = """\
+support::ArenaVector<int> snapshot() {
+  support::ArenaVector<int> out(alloc);
+  return out;
+}
+"""
+
+
+def _self_test() -> list[tuple[str, bool]]:
+    checks: list[tuple[str, bool]] = []
+    checks.append(("arena-escape: fires on an arena member in a non-owner "
+                   "class", _fires(_ESCAPE_SRC)))
+    checks.append(("arena-escape: quiet when the class owns the arena",
+                   not _fires(_OWNER_SRC)))
+    allowed = _ESCAPE_SRC.replace(
+        "  support::ArenaVector<Slot> slots_;",
+        "  // lint:allow(arena-escape)\n"
+        "  support::ArenaVector<Slot> slots_;")
+    checks.append(("arena-escape: member silenced by lint:allow",
+                   not _fires(allowed)))
+    local = """\
+class Engine {
+  std::shared_ptr<support::Arena> arena_;
+  void step() {
+    support::ArenaVector<int> scratch(alloc);
+    use(scratch);
+  }
+};
+"""
+    checks.append(("arena-escape: locals inside method bodies are fine",
+                   not _fires(local)))
+    checks.append(("arena-escape: fires on a function returning an arena "
+                   "container", _fires(_RETURN_SRC)))
+    ret_allowed = ("// lint:allow(arena-escape) caller pins the arena\n"
+                   + _RETURN_SRC)
+    checks.append(("arena-escape: return silenced by lint:allow above",
+                   not _fires(ret_allowed)))
+    alias = """\
+class Terrace {
+  std::shared_ptr<support::Arena> arena_;
+  template <typename T>
+  using AVec = support::ArenaVector<T>;
+  AVec<int> row_sum_;
+};
+"""
+    checks.append(("arena-escape: using-alias line itself is not a member "
+                   "finding; owner still quiet", not _fires(alias)))
+    checks.append(("arena-escape: support/arena.hpp (defines the types) is "
+                   "exempt", not _fires(_RETURN_SRC, "src/support/arena.hpp")))
+    nested = """\
+class Outer {
+  struct View {
+    support::ArenaVector<int> cells_;
+  };
+  std::shared_ptr<support::Arena> arena_;
+};
+"""
+    checks.append(("arena-escape: nested non-owner struct fires even inside "
+                   "an owner", _fires(nested)))
+    return checks
+
+
+RULE = ArenaEscapeRule()

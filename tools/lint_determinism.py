@@ -1,317 +1,24 @@
 #!/usr/bin/env python3
-"""Determinism lint for the Gentrius enumeration core.
+"""Compatibility shim: the determinism lint now lives in the
+gentrius-analyze framework (tools/gentrius_lint/rules/determinism.py).
 
-The virtual-time simulator (src/vthread) promises bit-identical replay, and
-the enumeration engine (src/gentrius) promises serial == parallel totals.
-Both guarantees are semantic — no test can prove their absence for every
-input — so this lint rejects the *constructs* that historically break them:
-
-  wall-clock       reading real time inside the engine (schedules would
-                   depend on host speed; the virtual clock is the only
-                   notion of time allowed)
-  rand             ambient randomness (rand, std::random_device, mt19937 —
-                   only support::Rng, seeded and cross-platform stable, is
-                   deterministic)
-  sleep            real-time blocking (sleep_for/usleep: schedule depends on
-                   the host scheduler)
-  unordered-iter   iterating an unordered container (iteration order is
-                   implementation-defined; anything it feeds — output,
-                   counters, task order — diverges across platforms)
-  raw-new          raw new/delete (ownership bugs surface as
-                   schedule-dependent crashes; use containers or
-                   make_unique, which also keeps ASan reports readable)
-
-Escape hatch: append  // lint:allow(<rule>)  to the offending line, or put
-the comment alone on the line directly above it. Every allow should carry a
-justification comment; `counters.hpp` (stopping rule 3 is wall-clock by
-definition) is the canonical example.
-
-Exit status: 0 clean, 1 findings, 2 usage error. Wired into CTest as
-`lint_determinism` (tree scan) and `lint_determinism_selftest` (verifies
-each rule both fires on a seeded violation and is silenced by an allow).
+This entry point keeps the original contract — ``--root``,
+``--list-rules``, ``--self-test``, exit codes 0/1/2 and the
+``lint:allow`` escape hatch — by delegating to the framework with the
+rule selection pinned to ``determinism``. New callers should invoke
+``python3 tools/gentrius_lint`` directly.
 """
 
-from __future__ import annotations
-
-import argparse
 import pathlib
-import re
 import sys
 
-# Directories under --root whose files must uphold the determinism contract.
-LINTED_DIRS = ("src/vthread", "src/gentrius")
-SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-# rule name -> (regex on comment/string-stripped code, human explanation)
-RULES: dict[str, tuple[re.Pattern[str], str]] = {
-    "wall-clock": (
-        re.compile(
-            r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
-            r"|\bclock_gettime\b|\bgettimeofday\b|\bStopwatch\b"
-            r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
-        ),
-        "real time read inside the deterministic core; use the virtual "
-        "clock (CostModel) instead",
-    ),
-    "rand": (
-        re.compile(
-            r"\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bmt19937"
-            r"|\brandom_shuffle\b"
-        ),
-        "ambient randomness; draw from support::Rng with an explicit seed",
-    ),
-    "sleep": (
-        re.compile(r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\b"),
-        "real-time blocking makes the schedule host-dependent",
-    ),
-    "unordered-iter": (
-        re.compile(
-            # range-for directly over an unordered container expression, or
-            # begin()/iterator walks detected via declared variable names
-            # (second pass below).
-            r"for\s*\(.*:\s*[^)]*\bunordered_(?:map|set|multimap|multiset)\b"
-        ),
-        "unordered-container iteration order is implementation-defined; "
-        "sort the keys (or use a vector/map) before anything order-sensitive",
-    ),
-    "raw-new": (
-        re.compile(
-            r"\bnew\s+[A-Za-z_:(<]"  # new-expressions (incl. placement/array)
-            r"|\bdelete\s*\[\]"      # delete[] p
-            r"|\bdelete\s+[A-Za-z_*(]"  # delete p   (but not `= delete;`)
-        ),
-        "raw new/delete; use containers, std::make_unique or arena types",
-    ),
-}
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;={(]"
-)
-
-
-def strip_code(text: str) -> list[str]:
-    """Returns per-line code with comments and string/char literals blanked.
-
-    Keeps line structure (so finding line numbers stay exact) and replaces
-    stripped characters with spaces (so column-free regexes behave).
-    """
-    out: list[str] = []
-    in_block = False
-    for line in text.splitlines():
-        res: list[str] = []
-        i = 0
-        n = len(line)
-        while i < n:
-            if in_block:
-                end = line.find("*/", i)
-                if end < 0:
-                    i = n
-                else:
-                    in_block = False
-                    i = end + 2
-                continue
-            ch = line[i]
-            nxt = line[i + 1] if i + 1 < n else ""
-            if ch == "/" and nxt == "/":
-                break  # rest of line is a comment
-            if ch == "/" and nxt == "*":
-                in_block = True
-                i += 2
-                continue
-            if ch in "\"'":
-                quote = ch
-                res.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        i += 2
-                        continue
-                    if line[i] == quote:
-                        i += 1
-                        break
-                    i += 1
-                continue
-            res.append(ch)
-            i += 1
-        out.append("".join(res))
-    return out
-
-
-def collect_allows(text: str) -> dict[int, set[str]]:
-    """Maps 1-based line numbers to the set of rules allowed on that line.
-
-    A `// lint:allow(rule)` suppresses findings on its own line; when the
-    line holds nothing but the comment, it suppresses the following line
-    instead (so justifications can sit above long statements).
-    """
-    allows: dict[int, set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        m = ALLOW_RE.search(line)
-        if not m:
-            continue
-        rules = {r.strip() for r in m.group(1).split(",")}
-        unknown = rules - RULES.keys()
-        if unknown:
-            raise SystemExit(
-                f"lint_determinism: unknown rule(s) {sorted(unknown)} in "
-                f"lint:allow on line {lineno} (known: {sorted(RULES)})"
-            )
-        target = lineno
-        if line.split("//", 1)[0].strip() == "":  # comment-only line
-            target = lineno + 1
-        allows.setdefault(target, set()).update(rules)
-    return allows
-
-
-def lint_text(text: str, path: str) -> list[tuple[str, int, str, str]]:
-    """Returns findings as (path, line, rule, code-snippet) tuples."""
-    findings: list[tuple[str, int, str, str]] = []
-    allows = collect_allows(text)
-    code_lines = strip_code(text)
-    raw_lines = text.splitlines()
-
-    # Names of unordered containers declared in this file, for iteration
-    # detection beyond literal range-for-over-type expressions.
-    unordered_vars = set()
-    for code in code_lines:
-        unordered_vars.update(UNORDERED_DECL_RE.findall(code))
-    iter_res = [
-        re.compile(r"for\s*\(.*:\s*(?:\w+\.)*" + re.escape(v) + r"\s*\)")
-        for v in unordered_vars
-    ] + [
-        re.compile(r"\b" + re.escape(v) + r"\s*\.\s*c?begin\s*\(")
-        for v in unordered_vars
-    ]
-
-    for lineno, code in enumerate(code_lines, start=1):
-        if not code.strip():
-            continue
-        allowed = allows.get(lineno, set())
-        for rule, (pattern, _why) in RULES.items():
-            if rule in allowed:
-                continue
-            hit = pattern.search(code)
-            if not hit and rule == "unordered-iter":
-                hit = next((r.search(code) for r in iter_res if r.search(code)), None)
-            if hit:
-                findings.append((path, lineno, rule, raw_lines[lineno - 1].strip()))
-    return findings
-
-
-def lint_tree(root: pathlib.Path) -> int:
-    findings: list[tuple[str, int, str, str]] = []
-    scanned = 0
-    for rel in LINTED_DIRS:
-        base = root / rel
-        if not base.is_dir():
-            print(f"lint_determinism: missing directory {base}", file=sys.stderr)
-            return 2
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in SOURCE_SUFFIXES:
-                continue
-            scanned += 1
-            findings.extend(
-                lint_text(path.read_text(encoding="utf-8"), str(path.relative_to(root)))
-            )
-    if findings:
-        for path, lineno, rule, snippet in findings:
-            why = RULES[rule][1]
-            print(f"{path}:{lineno}: [{rule}] {why}\n    {snippet}")
-        print(
-            f"\nlint_determinism: {len(findings)} finding(s) in {scanned} files. "
-            "If a use is genuinely deterministic-safe, annotate it with "
-            "// lint:allow(<rule>) and a justification."
-        )
-        return 1
-    print(f"lint_determinism: OK ({scanned} files clean)")
-    return 0
-
-
-# --- self test --------------------------------------------------------------
-
-SEEDED_VIOLATIONS = {
-    "wall-clock": "auto t0 = std::chrono::system_clock::now();",
-    "rand": "int x = rand() % 7;",
-    "sleep": "std::this_thread::sleep_for(std::chrono::milliseconds(5));",
-    "unordered-iter": "for (const auto& kv : std::unordered_map<int, int>(pairs)) { use(kv); }",
-    "raw-new": "auto* p = new Frame();",
-}
-
-EXTRA_CASES = [
-    # (snippet, rule, should_fire)
-    ("std::unordered_map<int, int> m; for (auto& kv : m) {}", "unordered-iter", True),
-    ("std::unordered_set<K> seen; seen.insert(k);", "unordered-iter", False),
-    ("Widget() = delete;", "raw-new", False),
-    ("void operator delete(void*) noexcept;", "raw-new", False),
-    ("delete node;", "raw-new", True),
-    ("delete[] buf;", "raw-new", True),
-    ("double runtime_seconds(); // wraps steady_clock", "wall-clock", False),
-    ('const char* s = "call rand() here";', "rand", False),
-    ("support::Rng rng(seed); rng.shuffle(v);", "rand", False),
-]
-
-
-def self_test() -> int:
-    failures = 0
-
-    def check(desc: str, ok: bool) -> None:
-        nonlocal failures
-        status = "PASS" if ok else "FAIL"
-        print(f"  [{status}] {desc}")
-        if not ok:
-            failures += 1
-
-    print("rule detection (seeded violations must fire):")
-    for rule, snippet in SEEDED_VIOLATIONS.items():
-        found = lint_text(snippet + "\n", "<seeded>")
-        check(f"{rule}: fires on `{snippet}`", any(f[2] == rule for f in found))
-        allowed = lint_text(snippet + "  // lint:allow(" + rule + ")\n", "<seeded>")
-        check(f"{rule}: silenced by same-line lint:allow",
-              not any(f[2] == rule for f in allowed))
-        above = "// lint:allow(" + rule + ")\n" + snippet + "\n"
-        check(f"{rule}: silenced by lint:allow on the line above",
-              not any(f[2] == rule for f in lint_text(above, "<seeded>")))
-
-    print("edge cases:")
-    for snippet, rule, should_fire in EXTRA_CASES:
-        found = any(f[2] == rule for f in lint_text(snippet + "\n", "<case>"))
-        verb = "fires" if should_fire else "stays quiet"
-        check(f"{rule}: {verb} on `{snippet}`", found == should_fire)
-
-    print("comment/string stripping:")
-    check("violation inside /* block comment */ ignored",
-          not lint_text("/* rand() */\nint x;\n", "<case>"))
-    check("violation after // comment ignored",
-          not lint_text("int x;  // old code used rand()\n", "<case>"))
-
-    if failures:
-        print(f"\nself-test: {failures} check(s) FAILED")
-        return 1
-    print("\nself-test: all checks passed")
-    return 0
+from gentrius_lint import cli  # noqa: E402
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", type=pathlib.Path,
-                        default=pathlib.Path(__file__).resolve().parent.parent,
-                        help="repository root (default: the checkout containing this script)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule table and exit")
-    parser.add_argument("--self-test", action="store_true",
-                        help="verify every rule fires on a seeded violation and "
-                             "honours the lint:allow escape hatch")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule, (_pattern, why) in RULES.items():
-            print(f"{rule:15s} {why}")
-        return 0
-    if args.self_test:
-        return self_test()
-    return lint_tree(args.root.resolve())
+    return cli.main(["--rules", "determinism", *sys.argv[1:]])
 
 
 if __name__ == "__main__":
