@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "benchutil/stats.hpp"
+#include "datagen/tree_gen.hpp"
 #include "gentrius/problem.hpp"
+#include "support/check.hpp"
 
 namespace gentrius::benchutil {
 
@@ -110,6 +112,53 @@ std::vector<datagen::Dataset> empirical_corpus(std::size_t count,
     out.push_back(datagen::make_empirical_like(p));
   }
   return out;
+}
+
+datagen::Dataset make_multi_component(const MultiComponentParams& params) {
+  GENTRIUS_CHECK(params.n_components >= 1);
+  GENTRIUS_CHECK(params.min_taxa_per_component >= params.min_taxa_per_locus);
+  GENTRIUS_CHECK(params.max_taxa_per_component >=
+                 params.min_taxa_per_component);
+  GENTRIUS_CHECK(params.loci_per_component >= 1);
+  support::Rng rng(params.seed);
+
+  datagen::Dataset ds;
+  ds.name = "multi-" + std::to_string(params.n_components) + "c-s" +
+            std::to_string(params.seed);
+
+  std::vector<std::size_t> block_sizes(params.n_components);
+  std::size_t total = 0;
+  const std::size_t span =
+      params.max_taxa_per_component - params.min_taxa_per_component + 1;
+  for (auto& b : block_sizes) {
+    b = params.min_taxa_per_component + rng.below(span);
+    total += b;
+  }
+
+  const auto ids = datagen::default_taxa(ds.taxa, total);
+  ds.species_tree = datagen::random_tree(ids, rng);
+  ds.pam = pam::Pam(total, params.n_components * params.loci_per_component);
+
+  // Block-diagonal fill: locus (c, l) samples only block c's taxa, so
+  // constraints of different blocks are taxon-disjoint by construction.
+  std::size_t base = 0;
+  std::size_t locus = 0;
+  for (std::size_t c = 0; c < params.n_components; ++c) {
+    const std::size_t b = block_sizes[c];
+    for (std::size_t l = 0; l < params.loci_per_component; ++l, ++locus) {
+      for (std::size_t i = 0; i < b; ++i)
+        if (!rng.bernoulli(params.missing_fraction))
+          ds.pam.set_present(static_cast<phylo::TaxonId>(base + i), locus);
+      while (ds.pam.locus_taxa(locus).count() < params.min_taxa_per_locus)
+        ds.pam.set_present(static_cast<phylo::TaxonId>(base + rng.below(b)),
+                           locus);
+    }
+    base += b;
+  }
+
+  ds.constraints = pam::induced_subtrees(ds.species_tree, ds.pam,
+                                         params.min_taxa_per_locus);
+  return ds;
 }
 
 double parse_scale(int argc, char** argv, double fallback) {

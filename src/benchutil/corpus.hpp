@@ -72,6 +72,27 @@ std::vector<datagen::Dataset> simulated_corpus(std::size_t count,
 std::vector<datagen::Dataset> empirical_corpus(std::size_t count,
                                                std::uint64_t seed0);
 
+/// Parameters for block-structured multi-component instances (the
+/// decomposition corpus; src/decompose). The taxa are partitioned into
+/// `n_components` blocks and every locus samples taxa from exactly one
+/// block, so the induced constraint trees of different blocks share no
+/// taxon: the constraint interaction graph has at least `n_components`
+/// connected components (more when a block's own loci fail to overlap).
+struct MultiComponentParams {
+  std::size_t n_components = 2;
+  std::size_t min_taxa_per_component = 4;
+  std::size_t max_taxa_per_component = 6;
+  std::size_t loci_per_component = 2;
+  double missing_fraction = 0.3;       ///< per block taxon, per locus
+  std::size_t min_taxa_per_locus = 4;  ///< floor enforced after dropout
+  std::uint64_t seed = 1;
+};
+
+/// Block-structured multi-component instance: uniform random species tree
+/// over all taxa, block-diagonal PAM, constraints = induced per-locus
+/// subtrees. Fully deterministic from the seed.
+datagen::Dataset make_multi_component(const MultiComponentParams& params);
+
 /// Parses the optional first CLI argument as a corpus scale factor.
 double parse_scale(int argc, char** argv, double fallback = 1.0);
 

@@ -1,0 +1,104 @@
+#include "decompose/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace gentrius::decompose {
+
+namespace {
+
+// Union-find over constraint indices, path-halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+ComponentSplit analyze_components(const std::vector<phylo::Tree>& constraints) {
+  const std::size_t n = constraints.size();
+  UnionFind uf(n);
+
+  // Sharing a taxon is an equivalence-generating relation: link every
+  // constraint to the first constraint that mentioned each of its taxa.
+  std::vector<std::size_t> first_owner;  // by taxon id; n = "unseen"
+  for (std::size_t c = 0; c < n; ++c) {
+    for (const phylo::TaxonId t : constraints[c].taxa()) {
+      if (t >= first_owner.size()) first_owner.resize(t + 1, n);
+      if (first_owner[t] == n)
+        first_owner[t] = c;
+      else
+        uf.unite(first_owner[t], c);
+    }
+  }
+
+  // Group constraints by root, keeping ascending index order within groups.
+  std::vector<std::size_t> root_component(n, n);
+  ComponentSplit split;
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t r = uf.find(c);
+    if (root_component[r] == n) {
+      root_component[r] = split.components.size();
+      split.components.emplace_back();
+    }
+    split.components[root_component[r]].constraint_indices.push_back(c);
+  }
+
+  for (Component& comp : split.components) {
+    // Taxon union, ascending; enumerability = any member with >= 3 taxa
+    // (the same floor build_problem enforces for a whole instance).
+    for (const std::size_t c : comp.constraint_indices) {
+      auto taxa = constraints[c].taxa();
+      if (taxa.size() >= 3) comp.enumerable = true;
+      comp.taxa.insert(comp.taxa.end(), taxa.begin(), taxa.end());
+    }
+    std::sort(comp.taxa.begin(), comp.taxa.end());
+    comp.taxa.erase(std::unique(comp.taxa.begin(), comp.taxa.end()),
+                    comp.taxa.end());
+    if (comp.enumerable) ++split.enumerable_count;
+  }
+
+  // Canonical order: ascending smallest taxon id. Component taxon sets are
+  // disjoint, so the minima are distinct and the order is total.
+  std::sort(split.components.begin(), split.components.end(),
+            [](const Component& a, const Component& b) {
+              GENTRIUS_DCHECK(!a.taxa.empty() && !b.taxa.empty());
+              return a.taxa.front() < b.taxa.front();
+            });
+  return split;
+}
+
+PamDecomposition analyze_pam(const phylo::Tree& species_tree,
+                             const pam::Pam& pam, std::size_t min_taxa) {
+  PamDecomposition out;
+  out.constraints = pam::induced_subtrees(species_tree, pam, min_taxa);
+  out.split = analyze_components(out.constraints);
+  return out;
+}
+
+}  // namespace gentrius::decompose

@@ -43,6 +43,27 @@ inline const char* to_string(Scheduler s) {
   return "?";
 }
 
+/// Instance decomposition mode (src/decompose, DESIGN.md "Decomposition").
+///
+///  * kOff — paper-faithful: one branch-and-bound tree over the whole
+///    instance. The default; every driver in src/gentrius, src/parallel and
+///    src/vthread requires it (they run exactly one instance).
+///  * kComponents — split the constraint set into connected components of
+///    the taxon-overlap graph and enumerate each component plus a canonical
+///    residual shard independently; counts combine by product, stands by
+///    cross-product streaming. Honored by the decompose::* entry points
+///    only — the single-instance drivers reject it loudly instead of
+///    silently ignoring it.
+enum class Decompose : std::uint8_t { kOff, kComponents };
+
+inline const char* to_string(Decompose d) {
+  switch (d) {
+    case Decompose::kOff: return "off";
+    case Decompose::kComponents: return "components";
+  }
+  return "?";
+}
+
 struct Options {
   /// Heuristic 1: start from the constraint tree sharing the most taxa with
   /// the others (paper §II-B). Off = start from `initial_constraint`
@@ -114,6 +135,9 @@ struct Options {
   /// virtual-time simulator's schedule is a deterministic function of this
   /// seed; the real pool's task totals are seed-independent.
   std::uint64_t steal_seed = 0x57ea1u;
+
+  /// Instance decomposition (see enum Decompose above).
+  Decompose decompose = Decompose::kOff;
 };
 
 enum class StopReason : std::uint8_t {
@@ -145,7 +169,63 @@ struct SchedulerStats {
   std::uint64_t failed_steal_probes = 0;   ///< probes that found an empty deque
   std::uint64_t queue_full_rejections = 0; ///< offers bounced off a full ring
   std::uint64_t max_queue_depth = 0;       ///< deepest any ring ever got
+
+  void merge(const SchedulerStats& o) {
+    tasks_stolen += o.tasks_stolen;
+    steal_attempts += o.steal_attempts;
+    failed_steal_probes += o.failed_steal_probes;
+    queue_full_rejections += o.queue_full_rejections;
+    if (o.max_queue_depth > max_queue_depth) max_queue_depth = o.max_queue_depth;
+  }
 };
+
+/// Candidate-selection work counters, accumulated by each Terrace and
+/// aggregated over all workers of a run (Terrace::SelectionStats is an
+/// alias for this type). The four counters partition the selection work a
+/// run performed: full recounts vs journal-replay cache refreshes vs
+/// zero/nonzero-only probes, plus constraint-mapping rebuild sweeps.
+struct SelectionStats {
+  std::uint64_t fresh_counts = 0;     ///< full admissible-count recomputations
+  std::uint64_t cached_counts = 0;    ///< journal-replay cache refreshes
+  std::uint64_t existence_checks = 0; ///< zero/nonzero-only dead-end probes
+  std::uint64_t mappings_rebuilt = 0; ///< constraint mapping DFS rebuilds
+
+  void merge(const SelectionStats& o) {
+    fresh_counts += o.fresh_counts;
+    cached_counts += o.cached_counts;
+    existence_checks += o.existence_checks;
+    mappings_rebuilt += o.mappings_rebuilt;
+  }
+};
+
+/// One shard of a decomposed run (Options::decompose = kComponents): either
+/// a connected component of the constraint-overlap graph or the canonical
+/// residual instance that carries the interleaving count (see
+/// src/decompose/sharded.hpp and DESIGN.md "Decomposition").
+struct ShardStats {
+  enum class Kind : std::uint8_t {
+    kComponent,  ///< connected component of the taxon-overlap graph
+    kResidual,   ///< canonical residual instance (one representative per component)
+  };
+  Kind kind = Kind::kComponent;
+  std::size_t n_taxa = 0;                ///< shard universe size
+  std::size_t n_constraints = 0;         ///< constraints in the shard instance
+  std::uint64_t stand_trees = 0;         ///< shard stand count
+  std::uint64_t intermediate_states = 0;
+  std::uint64_t dead_ends = 0;
+  StopReason reason = StopReason::kCompleted;
+  SelectionStats selection;              ///< selection work within the shard
+  SchedulerStats sched;                  ///< scheduler traffic within the shard
+  double virtual_makespan = 0.0;         ///< virtual-backend shard makespan
+};
+
+inline const char* to_string(ShardStats::Kind k) {
+  switch (k) {
+    case ShardStats::Kind::kComponent: return "component";
+    case ShardStats::Kind::kResidual: return "residual";
+  }
+  return "?";
+}
 
 struct Result {
   std::uint64_t stand_trees = 0;
@@ -163,7 +243,14 @@ struct Result {
   std::uint64_t tasks_executed = 0;        ///< work-stealing tasks run (parallel)
   std::uint64_t tasks_offered = 0;         ///< successful task offers (parallel)
   SchedulerStats sched;                    ///< scheduler observability
+  SelectionStats selection;                ///< selection work, all workers
   double virtual_makespan = 0.0;           ///< virtual-time runs only
+
+  // Decomposed runs only (decompose::run_sharded): per-shard rollups in
+  // canonical shard order (components by smallest taxon id, residual last),
+  // and whether the product of shard counts saturated std::uint64_t.
+  std::vector<ShardStats> shards;
+  bool count_saturated = false;
 };
 
 }  // namespace gentrius::core

@@ -1,10 +1,15 @@
 #include "gentrius/serial.hpp"
 
+#include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
 namespace gentrius::core {
 
 Result run_serial(const Problem& problem, const Options& options) {
+  if (options.decompose != Decompose::kOff)
+    throw support::InvalidInput(
+        "run_serial enumerates one instance; Options::decompose = "
+        "kComponents is honored by decompose::run_serial (src/decompose)");
   Options opts = options;
   opts.tree_flush_batch = 1;
   opts.state_flush_batch = 1;
@@ -51,6 +56,7 @@ Result run_serial(const Problem& problem, const Options& options) {
   result.intermediate_states = sink.states();
   result.dead_ends = sink.dead_ends();
   result.trees = std::move(e.collected_trees());
+  result.selection = e.terrace().selection_stats();
   result.seconds = clock.seconds();
   return result;
 }

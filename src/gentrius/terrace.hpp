@@ -126,13 +126,9 @@ class Terrace {
 
   /// Cumulative counters of selection work; the virtual-time simulator uses
   /// the deltas to charge cheap cached refreshes and expensive recomputes
-  /// differently (vthread::CostModel).
-  struct SelectionStats {
-    std::uint64_t fresh_counts = 0;     ///< full admissible-count recomputations
-    std::uint64_t cached_counts = 0;    ///< journal-replay cache refreshes
-    std::uint64_t existence_checks = 0; ///< zero/nonzero-only dead-end probes
-    std::uint64_t mappings_rebuilt = 0; ///< constraint mapping DFS rebuilds
-  };
+  /// differently (vthread::CostModel), and every driver rolls the final
+  /// totals of its workers into core::Result::selection.
+  using SelectionStats = core::SelectionStats;
   const SelectionStats& selection_stats() const noexcept { return stats_; }
 
   /// True once constraint i's mapping storage (edge slots, preimage lists,

@@ -7,6 +7,7 @@
 #include "gentrius/enumerator.hpp"
 #include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
+#include "support/error.hpp"
 #include "support/invariant.hpp"
 #include "support/stopwatch.hpp"
 
@@ -29,6 +30,7 @@ struct WorkerOutput {
   std::vector<std::string> trees;
   std::uint64_t tasks_offered = 0;
   std::uint64_t tasks_executed = 0;
+  core::SelectionStats selection;
   Enumerator::Prefix::Outcome prefix_outcome =
       Enumerator::Prefix::Outcome::kEmpty;
   std::size_t prefix_length = 0;
@@ -168,6 +170,7 @@ void worker_body(std::size_t tid, std::size_t n_threads,
   e.counters().flush_all();
   out.trees = std::move(e.collected_trees());
   out.tasks_offered = e.tasks_offered();
+  out.selection = e.terrace().selection_stats();
 }
 
 Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
@@ -186,6 +189,7 @@ Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
   for (auto& o : outputs) {
     result.tasks_executed += o.tasks_executed;
     result.tasks_offered += o.tasks_offered;
+    result.selection.merge(o.selection);
     result.trees.insert(result.trees.end(),
                         std::make_move_iterator(o.trees.begin()),
                         std::make_move_iterator(o.trees.end()));
@@ -196,6 +200,11 @@ Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
 
 Result run_pool(const Problem& problem, const Options& options,
                 std::size_t n_threads, LaunchMode mode, bool work_stealing) {
+  if (options.decompose != core::Decompose::kOff)
+    throw support::InvalidInput(
+        "run_parallel/run_static_split enumerate one instance; "
+        "Options::decompose = kComponents is honored by "
+        "decompose::run_parallel (src/decompose)");
   support::Stopwatch clock;
   CounterSink sink(options.stop);
   std::vector<WorkerOutput> outputs(n_threads);

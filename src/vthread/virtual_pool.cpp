@@ -363,6 +363,10 @@ Result run_simulation(const Problem& problem, const Options& user_options,
                       std::size_t n_threads, const CostModel& costs,
                       const VirtualRules& rules, bool work_stealing) {
   GENTRIUS_CHECK(n_threads >= 1);
+  if (user_options.decompose != core::Decompose::kOff)
+    throw support::InvalidInput(
+        "run_virtual simulates one instance; Options::decompose = "
+        "kComponents is honored by decompose::run_virtual (src/decompose)");
   // Diagnostic only: how long the simulation itself took on the host. The
   // simulated schedule depends exclusively on virtual clocks.
   support::Stopwatch wall;  // lint:allow(wall-clock)
@@ -558,6 +562,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
     makespan = std::max(makespan, w.clock);
     result.tasks_executed += w.tasks_executed;
     result.tasks_offered += w.enumerator->tasks_offered();
+    result.selection.merge(w.enumerator->terrace().selection_stats());
     auto& trees = w.enumerator->collected_trees();
     result.trees.insert(result.trees.end(),
                         std::make_move_iterator(trees.begin()),

@@ -80,6 +80,17 @@ struct CostModel {
   double cached_count_cost = 0.0;     ///< per journal-replay cache refresh
   double existence_check_cost = 0.0;  ///< per zero/nonzero dead-end probe
   double mapping_rebuild_cost = 0.0;  ///< per constraint-mapping rebuild
+
+  // Sharded-run terms (decompose::run_virtual): a decomposed run dispatches
+  // each shard as its own simulation and merges the results afterwards.
+  // Dispatch covers building the shard sub-problem and seeding its workers
+  // (same order of magnitude as spawn_cost); merge covers the product /
+  // stats combination per shard. Charged by the sharded driver, not by
+  // run_virtual itself, so monolithic simulations are unaffected; see
+  // decompose/sharded.hpp for how they enter the sharded makespan under the
+  // sequential and concurrent shard schedules.
+  double shard_dispatch_cost = 150.0;  ///< per shard: sub-problem build + seed
+  double shard_merge_cost = 30.0;      ///< per shard: count/stats combination
 };
 
 struct VirtualRules {

@@ -1,0 +1,105 @@
+// Unit tests for the constraint interaction-graph analyzer and shard plan.
+#include <gtest/gtest.h>
+
+#include "benchutil/corpus.hpp"
+#include "decompose/components.hpp"
+#include "decompose/sharded.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/taxon_set.hpp"
+#include "support/error.hpp"
+
+namespace gentrius {
+namespace {
+
+using decompose::analyze_components;
+using decompose::analyze_pam;
+using decompose::ComponentSplit;
+
+std::vector<phylo::Tree> parse_all(const std::vector<std::string>& newicks,
+                                   phylo::TaxonSet& taxa) {
+  std::vector<phylo::Tree> out;
+  for (const auto& n : newicks) out.push_back(phylo::parse_newick(n, taxa));
+  return out;
+}
+
+TEST(Components, DisjointConstraintsSplit) {
+  phylo::TaxonSet taxa;
+  const auto constraints = parse_all(
+      {"((a0,a1),(a2,a3));", "((b0,b1),(b2,b3));", "((a0,a2),(a1,a3));"},
+      taxa);
+  const ComponentSplit split = analyze_components(constraints);
+  ASSERT_EQ(split.components.size(), 2u);
+  EXPECT_EQ(split.enumerable_count, 2u);
+  // Canonical order: ascending smallest taxon id — the a-component (taxa
+  // 0..3) precedes the b-component even though constraint 1 interleaves.
+  EXPECT_EQ(split.components[0].constraint_indices,
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(split.components[1].constraint_indices,
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(split.components[0].taxa.size(), 4u);
+  EXPECT_EQ(split.components[1].taxa.size(), 4u);
+  EXPECT_TRUE(split.components[0].enumerable);
+  EXPECT_TRUE(split.components[1].enumerable);
+}
+
+TEST(Components, SharedTaxonMergesTransitively) {
+  phylo::TaxonSet taxa;
+  // c0-c1 share "b", c1-c2 share "e": one component despite c0 and c2 being
+  // disjoint themselves.
+  const auto constraints = parse_all(
+      {"((a,b),(c,d));", "((b,e),(f,g));", "((e,h),(i,j));"}, taxa);
+  const ComponentSplit split = analyze_components(constraints);
+  ASSERT_EQ(split.components.size(), 1u);
+  EXPECT_EQ(split.components[0].constraint_indices,
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(split.components[0].taxa.size(), 10u);
+}
+
+TEST(Components, AnalyzePamFindsAtLeastTheBlocks) {
+  benchutil::MultiComponentParams params;
+  params.n_components = 3;
+  params.loci_per_component = 2;
+  params.seed = 7;
+  const auto ds = benchutil::make_multi_component(params);
+  const auto pd = analyze_pam(ds.species_tree, ds.pam);
+  EXPECT_EQ(pd.constraints.size(), ds.constraints.size());
+  EXPECT_GE(pd.split.components.size(), params.n_components);
+  // Components partition the constraint set and carry disjoint taxa.
+  std::size_t covered = 0;
+  std::vector<bool> seen_taxon(ds.taxa.size(), false);
+  for (const auto& comp : pd.split.components) {
+    covered += comp.constraint_indices.size();
+    for (const auto t : comp.taxa) {
+      EXPECT_FALSE(seen_taxon[t]) << "taxon " << t << " in two components";
+      seen_taxon[t] = true;
+    }
+  }
+  EXPECT_EQ(covered, pd.constraints.size());
+}
+
+TEST(Components, PlanShardsIsDeterministic) {
+  benchutil::MultiComponentParams params;
+  params.n_components = 2;
+  params.seed = 11;
+  const auto ds = benchutil::make_multi_component(params);
+  const auto plan1 = decompose::plan_shards(ds.constraints);
+  const auto plan2 = decompose::plan_shards(ds.constraints);
+  ASSERT_EQ(plan1.representatives.size(), plan2.representatives.size());
+  EXPECT_EQ(plan1.representatives.size(), plan1.split.enumerable_count);
+  EXPECT_FALSE(plan1.empty_component);
+  for (std::size_t i = 0; i < plan1.representatives.size(); ++i)
+    EXPECT_EQ(phylo::to_newick(plan1.representatives[i], plan1.labels),
+              phylo::to_newick(plan2.representatives[i], plan2.labels));
+  EXPECT_EQ(plan1.residual_constraints.size(),
+            plan1.representatives.size() + plan1.passthrough.size());
+}
+
+TEST(Components, NoEnumerableComponentThrows) {
+  // Constraint lists the engine itself rejects: plan_shards must refuse
+  // rather than fabricate an empty product.
+  const std::vector<phylo::Tree> none;
+  EXPECT_THROW(decompose::plan_shards(none), support::InvalidInput);
+}
+
+}  // namespace
+}  // namespace gentrius

@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "benchutil/corpus.hpp"
 #include "datagen/dataset.hpp"
+#include "decompose/sharded.hpp"
 #include "gentrius/enumerator.hpp"
 #include "gentrius/serial.hpp"
 #include "gentrius/terrace.hpp"
@@ -277,6 +279,53 @@ std::string build_report() {
         out << "  pool-deques nt=" << nt << " trees " << r.stand_trees
             << " stand_hash " << stand_set_hash(r.trees) << "\n";
       }
+    }
+  }
+
+  // 7. Sharded decomposition (PR 8; appended so every earlier block stays
+  // byte-frozen). Multi-component instances through the sharded drivers:
+  // the canonical shard order and per-shard rollups are pinned verbatim,
+  // counts and stand sets across serial / virtual / pool backends must
+  // agree with each other, and the virtual sharded schedule (makespan in
+  // centi-units) pins the CostModel shard_dispatch/merge charges.
+  for (const std::uint64_t seed : {101ULL, 202ULL}) {
+    benchutil::MultiComponentParams params;
+    params.n_components = 2;
+    params.min_taxa_per_component = 4;
+    params.max_taxa_per_component = 5;
+    params.loci_per_component = 2;
+    params.seed = seed;
+    const auto ds = benchutil::make_multi_component(params);
+    out << "instance decompose_" << ds.name << "\n";
+
+    Options opts;
+    opts.collect_trees = true;
+    opts.decompose = Decompose::kComponents;
+
+    const auto serial = decompose::run_serial(ds.constraints, opts);
+    out << "  sharded serial trees " << serial.stand_trees << " states "
+        << serial.intermediate_states << " dead_ends " << serial.dead_ends
+        << " reason " << to_string(serial.reason) << "\n";
+    for (const auto& s : serial.shards)
+      out << "  " << decompose::shard_trace_line(s) << "\n";
+    out << "  sharded serial stand_hash " << stand_set_hash(serial.trees)
+        << "\n";
+
+    for (const std::size_t nt : {2UL, 4UL, 8UL}) {
+      const auto r = decompose::run_virtual(ds.constraints, opts, nt);
+      out << "  sharded virtual nt=" << nt << " trees " << r.stand_trees
+          << " states " << r.intermediate_states << " stand_hash "
+          << stand_set_hash(r.trees) << " makespan_cu "
+          << static_cast<std::uint64_t>(r.virtual_makespan * 100.0 + 0.5)
+          << "\n";
+    }
+
+    for (const std::size_t nt : {2UL}) {
+      const auto r = decompose::run_parallel(ds.constraints, opts, nt);
+      out << "  sharded pool nt=" << nt << " trees " << r.stand_trees
+          << " stand_hash " << stand_set_hash(r.trees) << "\n";
+      for (const auto& s : r.shards)
+        out << "  " << decompose::shard_trace_line(s) << "\n";
     }
   }
   return out.str();

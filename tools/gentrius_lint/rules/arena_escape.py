@@ -271,6 +271,9 @@ class Outer {
 """
     checks.append(("arena-escape: nested non-owner struct fires even inside "
                    "an owner", _fires(nested)))
+    checks.append(("arena-escape: fires on seeded violation in "
+                   "src/decompose/components.cpp",
+                   _fires(_ESCAPE_SRC, "src/decompose/components.cpp")))
     return checks
 
 

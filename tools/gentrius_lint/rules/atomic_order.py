@@ -350,6 +350,13 @@ def _self_test() -> list[tuple[str, bool]]:
     missing_fn = _HB_SNIPPET_OK.replace("bool pop()", "bool pop_renamed()")
     checks.append(("atomic-hb: fires when a declared function is missing",
                    fires(missing_fn, "atomic-hb")))
+    seeded_decompose = core.SourceFile("src/decompose/sharded.cpp",
+                                       seeded + "\n",
+                                       AtomicOrderRule.codes)
+    checks.append(("atomic-order: fires on seeded violation in "
+                   "src/decompose/sharded.cpp",
+                   any(f.code == "atomic-order"
+                       for f in _check_order_comments(seeded_decompose))))
     return checks
 
 

@@ -139,7 +139,10 @@ EXTRA_CASES = [
 class DeterminismRule:
     name = "determinism"
     codes = frozenset(PATTERNS)
-    dirs = ("src/vthread", "src/gentrius")
+    # src/decompose joined in PR 8: the sharded driver feeds golden traces
+    # and product-law differentials, so it carries the same bit-identical
+    # replay promise as the engine and the simulator.
+    dirs = ("src/vthread", "src/gentrius", "src/decompose")
 
     @staticmethod
     def describe() -> str:
@@ -182,6 +185,17 @@ class DeterminismRule:
                        not lint_snippet("/* rand() */\nint x;")))
         checks.append(("violation after // comment ignored",
                        not lint_snippet("int x;  // old code used rand()")))
+        # Seeded violation in the newly scanned src/decompose directory:
+        # a wall-clock read planted in the sharded driver must fire exactly
+        # as it would in the engine.
+        seeded_decompose = core.SourceFile(
+            "src/decompose/sharded.cpp",
+            "auto t0 = std::chrono::steady_clock::now();\n",
+            PATTERNS.keys())
+        checks.append(("wall-clock: fires on seeded violation in "
+                       "src/decompose/sharded.cpp",
+                       any(f.code == "wall-clock"
+                           for f in _lint_file(seeded_decompose))))
         return checks
 
 

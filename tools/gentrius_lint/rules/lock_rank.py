@@ -458,6 +458,16 @@ class Same {
 """
     checks.append(("lock-order: equal ranks are not 'strictly increasing'",
                    fires("lock-order", same_rank)))
+    seeded_decompose = [
+        core.SourceFile("src/support/sync.hpp", _ENUM_SRC,
+                        LockRankRule.codes),
+        core.SourceFile("src/decompose/sharded.cpp", nested,
+                        LockRankRule.codes),
+    ]
+    checks.append(("lock-order: fires on seeded violation in "
+                   "src/decompose/sharded.cpp",
+                   any(f.code == "lock-order"
+                       for f in run_check(seeded_decompose))))
     return checks
 
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Benchmark regression harness: runs the engine micro-benchmarks and emits
-a machine-readable BENCH_6.json so the perf trajectory is comparable across
+a machine-readable BENCH_7.json so the perf trajectory is comparable across
 PRs.
 
 What it runs (from a Release build tree):
@@ -14,6 +14,11 @@ What it runs (from a Release build tree):
     simulator at N_t in {1,2,4,8,16,32,48,96}. Virtual time is
     deterministic, so these numbers are exact across machines and gate
     tightly.
+  * bench/bench_decompose_sharding (with --decompose) — sharded (component
+    decomposition, Options::decompose) vs monolithic enumeration of a
+    multi-component instance under the virtual-time simulator at N_t in
+    {1,2,4,8}. Also deterministic; the hard gate requires sharded
+    throughput >= monolithic (speedup >= 1.0) at every N_t.
 
 Wall-clock micro-benchmarks run with >= 4 repetitions by default and the
 *median* across repetitions is the headline number. The PR 5 post-mortem
@@ -22,9 +27,9 @@ host mis-measured BM_FullStateExpansion by ~10% and was chased as a code
 regression. Each micro entry records the repetition count and the spread
 (cv) so a noisy reading is visible in the report itself.
 
-Output schema (BENCH_6.json):
+Output schema (BENCH_7.json):
   {
-    "schema": "gentrius-bench-6",
+    "schema": "gentrius-bench-7",
     "baseline": {...},            # pinned pre-PR-4 reference numbers
     "micro_engine": {name: {"real_time_ns", "items_per_second",
                             "states_per_sec",      # medians over repetitions
@@ -35,16 +40,23 @@ Output schema (BENCH_6.json):
     "scheduler_sweep": {"instance": str, "serial_makespan": float,
                         "central" | "distributed":
                             {nt: {"makespan", "speedup", ...}}} | null,
+    "decompose_sharding": {"instance": str, "components": int,
+                           nt: {"mono_makespan", "sharded_seq_makespan",
+                                "sharded_conc_makespan", "speedup_seq",
+                                "speedup_conc", "mono_trees",
+                                "sharded_trees"}} | null,
     "derived": {"multi_constraint_states_per_sec", "per_state_ns",
                 "speedup_vs_baseline",
                 "distributed_over_central_speedup_at_48",
-                "max_scheduler_mismatch_percent_at_low_nt"}
+                "max_scheduler_mismatch_percent_at_low_nt",
+                "sharded_over_mono_speedup_at_1"}
   }
 
 Typical use:
-  python3 tools/run_benchmarks.py --build-dir build-bench --schedulers
+  python3 tools/run_benchmarks.py --build-dir build-bench --schedulers \
+      --decompose
   python3 tools/run_benchmarks.py --min-time 0.1 --mapping-scale 0.2 \
-      --schedulers --check-against BENCH_6.json       # CI smoke mode
+      --schedulers --decompose --check-against BENCH_7.json  # CI smoke mode
 
 --check-against compares every micro-benchmark present in both reports
 (medians vs medians: states/s and items/s must not fall below, latency-only
@@ -200,6 +212,81 @@ def run_scheduler_sweep(build_dir: pathlib.Path) -> dict:
     return sweep
 
 
+SHARD_HEADER = re.compile(
+    r"^SHARD instance=(\S+) components=(\d+) enumerable=(\d+)")
+SHARD_LINE = re.compile(
+    r"^SHARD nt=(\d+) mono_makespan=([0-9.]+) "
+    r"sharded_seq_makespan=([0-9.]+) sharded_conc_makespan=([0-9.]+) "
+    r"speedup_seq=([0-9.]+) speedup_conc=([0-9.]+) "
+    r"mono_trees=(\d+) sharded_trees=(\d+) reason=(\S+)")
+
+
+def run_decompose_sweep(build_dir: pathlib.Path) -> dict:
+    exe = build_dir / "bench" / "bench_decompose_sharding"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found - build the bench targets first "
+                 f"(cmake --build {build_dir} "
+                 f"--target bench_decompose_sharding)")
+    cmd = [str(exe)]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    sweep: dict = {"by_nt": {}}
+    for line in proc.stdout.splitlines():
+        hm = SHARD_HEADER.match(line)
+        if hm:
+            sweep["instance"] = hm.group(1)
+            sweep["components"] = int(hm.group(2))
+            sweep["enumerable"] = int(hm.group(3))
+            continue
+        m = SHARD_LINE.match(line)
+        if not m:
+            continue
+        sweep["by_nt"][m.group(1)] = {
+            "mono_makespan": float(m.group(2)),
+            "sharded_seq_makespan": float(m.group(3)),
+            "sharded_conc_makespan": float(m.group(4)),
+            "speedup_seq": float(m.group(5)),
+            "speedup_conc": float(m.group(6)),
+            "mono_trees": int(m.group(7)),
+            "sharded_trees": int(m.group(8)),
+            "reason": m.group(9),
+        }
+    if not sweep["by_nt"]:
+        sys.exit("error: no SHARD lines parsed from bench_decompose_sharding")
+    return sweep
+
+
+def gate_decompose(sweep: dict) -> bool:
+    """Hard gate (virtual time is deterministic, so this is exact): the
+    instance must actually decompose (>= 2 components), the sharded and
+    monolithic runs must find the same stand, and sharded throughput must
+    be >= monolithic (speedup >= 1.0) at every N_t."""
+    ok = True
+    if sweep.get("components", 0) < 2:
+        print(f"decompose gate: instance has {sweep.get('components')} "
+              "component(s), need >= 2: FAIL")
+        ok = False
+    for nt, e in sorted(sweep["by_nt"].items(), key=lambda kv: int(kv[0])):
+        agree = e["mono_trees"] == e["sharded_trees"]
+        fast = e["speedup_seq"] >= 1.0
+        print(f"decompose gate: nt={nt} sharded/mono speedup "
+              f"{e['speedup_seq']:.3f}x trees "
+              f"{e['sharded_trees']}/{e['mono_trees']}: "
+              f"{'OK' if agree and fast else 'FAIL'}")
+        ok &= agree and fast
+    return ok
+
+
+def print_decompose_table(sweep: dict) -> None:
+    print(f"decompose sharding ({sweep.get('instance', '?')}, "
+          f"{sweep.get('components', '?')} components):")
+    print(f"  {'nt':>4} {'mono':>12} {'sharded':>12} {'speedup':>9}")
+    for nt, e in sorted(sweep["by_nt"].items(), key=lambda kv: int(kv[0])):
+        print(f"  {nt:>4} {e['mono_makespan']:12.1f} "
+              f"{e['sharded_seq_makespan']:12.1f} "
+              f"{e['speedup_seq']:8.2f}x")
+
+
 def sweep_derived(sweep: dict) -> dict:
     """Per-N_t speedup comparison plus the two headline figures."""
     out: dict = {}
@@ -235,7 +322,7 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build-bench", type=pathlib.Path,
                     help="Release build tree containing bench/ binaries")
-    ap.add_argument("--output", default="BENCH_6.json", type=pathlib.Path)
+    ap.add_argument("--output", default="BENCH_7.json", type=pathlib.Path)
     ap.add_argument("--min-time", type=float, default=None,
                     help="google-benchmark per-benchmark min time, seconds "
                          "(default: library default; use 0.1 for CI smoke)")
@@ -256,6 +343,10 @@ def main() -> int:
     ap.add_argument("--schedulers", action="store_true",
                     help="also run the central vs distributed scheduler "
                          "sweep (bench_work_stealing_ablation --schedulers)")
+    ap.add_argument("--decompose", action="store_true",
+                    help="also run the sharded-vs-monolithic decomposition "
+                         "sweep (bench_decompose_sharding); hard-gates "
+                         "sharded throughput >= monolithic")
     ap.add_argument("--check-against", type=pathlib.Path, default=None,
                     help="baseline BENCH_N.json; exit non-zero when any "
                          "micro-benchmark present in both reports (or the "
@@ -268,7 +359,7 @@ def main() -> int:
     args = ap.parse_args()
 
     report = {
-        "schema": "gentrius-bench-6",
+        "schema": "gentrius-bench-7",
         "generated_by": "tools/run_benchmarks.py",
         "build_dir": str(args.build_dir),
         "baseline": {
@@ -286,6 +377,8 @@ def main() -> int:
                                               args.mapping_reps)),
         "scheduler_sweep": (run_scheduler_sweep(args.build_dir)
                             if args.schedulers else None),
+        "decompose_sharding": (run_decompose_sweep(args.build_dir)
+                               if args.decompose else None),
     }
 
     derived = {}
@@ -298,6 +391,10 @@ def main() -> int:
             sps / PRE_PR4_MULTI_CONSTRAINT_STATES_PER_SEC)
     if report["scheduler_sweep"]:
         derived.update(sweep_derived(report["scheduler_sweep"]))
+    if report["decompose_sharding"]:
+        s1 = report["decompose_sharding"]["by_nt"].get("1", {})
+        if "speedup_seq" in s1:
+            derived["sharded_over_mono_speedup_at_1"] = s1["speedup_seq"]
     report["derived"] = derived
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -311,6 +408,10 @@ def main() -> int:
         ratio = derived.get("distributed_over_central_speedup_at_48")
         if ratio:
             print(f"distributed/central speedup at nt=48: {ratio:.3f}x")
+    if report["decompose_sharding"]:
+        print_decompose_table(report["decompose_sharding"])
+        if not gate_decompose(report["decompose_sharding"]):
+            return 1
 
     if args.check_against is not None:
         base = json.loads(args.check_against.read_text())
@@ -366,6 +467,18 @@ def main() -> int:
                       f"baseline {base_d48:.2f}x (floor {floor:.2f}x): "
                       f"{verdict}")
                 if d48 < floor:
+                    return 1
+        base_dec = base.get("decompose_sharding")
+        if report["decompose_sharding"] and base_dec:
+            base_s1 = base_dec.get("by_nt", {}).get("1", {}).get(
+                "speedup_seq")
+            s1 = derived.get("sharded_over_mono_speedup_at_1")
+            if base_s1 and s1:
+                floor = base_s1 / args.max_regression
+                verdict = "OK" if s1 >= floor else "REGRESSION"
+                print(f"decompose check: sharded@1 {s1:.2f}x vs baseline "
+                      f"{base_s1:.2f}x (floor {floor:.2f}x): {verdict}")
+                if s1 < floor:
                     return 1
     return 0
 
