@@ -1,0 +1,183 @@
+// Offer-policy ablation: the paper's fixed splitting rule (§III-A) vs the
+// online Galton–Watson granularity controller (Options::offer_policy).
+//
+// The interesting regime is hand-off flooding: instances whose offer-
+// eligible frames vastly outnumber the bounded queue's capacity, so under
+// kPaperFixed nearly every candidate frame bounces off the full ring —
+// paying the contended hand-off mutex just to be rejected. The skewed
+// "flood" family (datagen::make_flood_instance) is built for exactly that
+// shape; the empirical corpus instances represent the coarse-grained
+// opposite, where offers are scarce and granularity control has little to
+// win. Both families run under both schedulers at N_t in {1,2,8,16,32,48}
+// and both policies, entirely under the virtual-time simulator, so every
+// number is deterministic and machine-comparable.
+//
+// Cost model: queue_reject_cost is raised from its historical-compatibility
+// default of 0 to queue_cost (0.5) — the real TaskQueue::try_push acquires
+// the contended mutex even when it only learns the ring is full, and this
+// harness exists to measure precisely that traffic. Everything else is the
+// default model, so serial makespans match the other benches.
+//
+// Output: human table plus machine-parsable lines consumed by
+// tools/run_benchmarks.py --offer-policies (BENCH_8.json + the CI gate):
+//   OFFER serial instance=<n> family=<f> makespan=<m> states=<s> trees=<t>
+//       dead_ends=<d>
+//   OFFER instance=<n> family=<f> scheduler=<s> nt=<k> policy=<p>
+//       makespan=<m> speedup=<x> tasks_offered=<o> rejections=<r>
+//       offers_evaluated=<e> offers_suppressed=<u> prediction_error=<pe>
+// The binary itself hard-fails (exit 1) when any parallel run's counts
+// (trees / intermediate states / dead ends) differ from serial — the
+// policy may only change *scheduling*, never what is enumerated.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchutil/corpus.hpp"
+#include "datagen/dataset.hpp"
+#include "gentrius/options.hpp"
+#include "gentrius/problem.hpp"
+#include "vthread/virtual_pool.hpp"
+
+namespace {
+
+using namespace gentrius;
+
+const char* sched_name(core::Scheduler s) {
+  return s == core::Scheduler::kCentralQueue ? "central" : "distributed";
+}
+
+const char* policy_name(core::OfferPolicy p) {
+  return p == core::OfferPolicy::kPaperFixed ? "fixed" : "adaptive";
+}
+
+struct Entry {
+  std::string family;  // "skewed" | "corpus"
+  datagen::Dataset dataset;
+};
+
+// Safety caps far above every instance in the battery (the flood family at
+// the default depth holds ~3M states); no run below may trip a stopping
+// rule, or counts would depend on scheduling and the identity check fails.
+core::Options base_options(const datagen::Dataset& d) {
+  core::Options o;
+  o.stop.max_stand_trees = 20'000'000;
+  o.stop.max_states = 100'000'000;
+  if (d.forced_initial_constraint) {
+    o.select_initial_tree = false;
+    o.initial_constraint = *d.forced_initial_constraint;
+  }
+  if (!d.forced_insertion_order.empty()) {
+    o.dynamic_taxon_order = false;
+    o.insertion_order = d.forced_insertion_order;
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t flood_depth = 12;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--flood-depth")
+      flood_depth = std::strtoul(argv[i + 1], nullptr, 10);
+  if (const char* e = std::getenv("GENTRIUS_FLOOD_DEPTH"))
+    flood_depth = std::strtoul(e, nullptr, 10);
+
+  std::vector<Entry> battery;
+  for (std::uint64_t seed : {1, 2, 3, 4})
+    battery.push_back(
+        {"skewed", datagen::make_flood_instance(flood_depth, seed)});
+  for (auto& d : benchutil::empirical_corpus(4, 202))
+    battery.push_back({"corpus", std::move(d)});
+
+  vthread::CostModel costs;
+  costs.queue_reject_cost = costs.queue_cost;  // see file comment
+
+  std::printf("Offer-policy ablation (virtual time, flood depth %zu)\n",
+              flood_depth);
+  bool counts_ok = true;
+  for (const Entry& entry : battery) {
+    const datagen::Dataset& ds = entry.dataset;
+    core::Options base = base_options(ds);
+    const auto problem = core::build_problem(ds.constraints, base);
+    const auto serial = vthread::run_virtual(problem, base, 1, costs);
+    if (serial.reason != core::StopReason::kCompleted) {
+      std::printf("# skipping %s: serial run stopped early (%s)\n",
+                  ds.name.c_str(), core::to_string(serial.reason));
+      continue;
+    }
+    // The tiny corpus members (a handful of states) say nothing about
+    // scheduling; keep the battery to instances with real parallel work.
+    if (entry.family == "corpus" && serial.intermediate_states < 1'000)
+      continue;
+    std::printf(
+        "OFFER serial instance=%s family=%s makespan=%.2f states=%llu "
+        "trees=%llu dead_ends=%llu\n",
+        ds.name.c_str(), entry.family.c_str(), serial.virtual_makespan,
+        static_cast<unsigned long long>(serial.intermediate_states),
+        static_cast<unsigned long long>(serial.stand_trees),
+        static_cast<unsigned long long>(serial.dead_ends));
+    std::printf("\n%-22s %-12s %4s %9s %9s %7s %7s %7s\n", ds.name.c_str(),
+                "scheduler", "nt", "fixed", "adaptive", "ratio", "offers",
+                "suppr");
+    for (const core::Scheduler sched : {core::Scheduler::kCentralQueue,
+                                        core::Scheduler::kDistributedDeques}) {
+      for (const std::size_t nt : {2UL, 8UL, 16UL, 32UL, 48UL}) {
+        core::Result by_policy[2];
+        for (const core::OfferPolicy policy :
+             {core::OfferPolicy::kPaperFixed,
+              core::OfferPolicy::kAdaptiveGW}) {
+          core::Options o = base;
+          o.scheduler = sched;
+          o.offer_policy = policy;
+          const auto r = vthread::run_virtual(problem, o, nt, costs);
+          by_policy[policy == core::OfferPolicy::kAdaptiveGW] = r;
+          if (r.stand_trees != serial.stand_trees ||
+              r.intermediate_states != serial.intermediate_states ||
+              r.dead_ends != serial.dead_ends) {
+            std::printf(
+                "COUNT MISMATCH %s %s nt=%zu %s: trees %llu/%llu states "
+                "%llu/%llu dead_ends %llu/%llu\n",
+                ds.name.c_str(), sched_name(sched), nt, policy_name(policy),
+                static_cast<unsigned long long>(r.stand_trees),
+                static_cast<unsigned long long>(serial.stand_trees),
+                static_cast<unsigned long long>(r.intermediate_states),
+                static_cast<unsigned long long>(serial.intermediate_states),
+                static_cast<unsigned long long>(r.dead_ends),
+                static_cast<unsigned long long>(serial.dead_ends));
+            counts_ok = false;
+          }
+          std::printf(
+              "OFFER instance=%s family=%s scheduler=%s nt=%zu policy=%s "
+              "makespan=%.2f speedup=%.4f tasks_offered=%llu "
+              "rejections=%llu offers_evaluated=%llu offers_suppressed=%llu "
+              "prediction_error=%.4f\n",
+              ds.name.c_str(), entry.family.c_str(), sched_name(sched), nt,
+              policy_name(policy), r.virtual_makespan,
+              serial.virtual_makespan / r.virtual_makespan,
+              static_cast<unsigned long long>(r.tasks_offered),
+              static_cast<unsigned long long>(r.sched.queue_full_rejections),
+              static_cast<unsigned long long>(r.sched.offers_evaluated),
+              static_cast<unsigned long long>(r.sched.offers_suppressed),
+              r.sched.offer_prediction_error());
+        }
+        std::printf("%-22s %-12s %4zu %9.0f %9.0f %7.3f %7llu %7llu\n", "",
+                    sched_name(sched), nt, by_policy[0].virtual_makespan,
+                    by_policy[1].virtual_makespan,
+                    by_policy[0].virtual_makespan /
+                        by_policy[1].virtual_makespan,
+                    static_cast<unsigned long long>(by_policy[1].tasks_offered),
+                    static_cast<unsigned long long>(
+                        by_policy[1].sched.offers_suppressed));
+      }
+    }
+    std::printf("\n");
+  }
+  if (!counts_ok) {
+    std::printf("FAIL: offer policy changed enumeration counts\n");
+    return 1;
+  }
+  std::printf("counts identical to serial across all runs\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Example: adaptive task granularity from the online Galton–Watson model.
+//
+// Runs a skewed "hand-off flood" instance (datagen::make_flood_instance:
+// every state carries an offer-eligible frame, so the paper's fixed
+// splitting rule floods the bounded central queue with tiny tasks) under
+// both offer policies in deterministic virtual time, and prints what the
+// controller saw: offers evaluated vs suppressed, full-queue rejections,
+// the GW model's subtree-size prediction error, and the resulting
+// makespans. Expected shape: identical enumeration counts everywhere,
+// near-parity at N_t <= 2, and a growing adaptive advantage as the worker
+// count (and with it the cost of every serialized hand-off) rises.
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/dataset.hpp"
+#include "gentrius/problem.hpp"
+#include "vthread/virtual_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gentrius;
+
+  std::size_t depth = 10;
+  if (argc > 1) depth = std::strtoul(argv[1], nullptr, 10);
+  const auto ds = datagen::make_flood_instance(depth, /*seed=*/1);
+
+  core::Options options;
+  options.select_initial_tree = false;
+  options.dynamic_taxon_order = false;
+  options.initial_constraint = *ds.forced_initial_constraint;
+  options.insertion_order = ds.forced_insertion_order;
+  const auto problem = core::build_problem(ds.constraints, options);
+
+  // Charge rejected pushes like the real TaskQueue does (the contended
+  // mutex is acquired even when the ring is full); see bench_offer_policy.
+  vthread::CostModel costs;
+  costs.queue_reject_cost = costs.queue_cost;
+
+  const auto serial = vthread::run_virtual(problem, options, 1, costs);
+  std::printf("%s: %llu stand trees, %llu states, serial makespan %.0f\n\n",
+              ds.name.c_str(),
+              static_cast<unsigned long long>(serial.stand_trees),
+              static_cast<unsigned long long>(serial.intermediate_states),
+              serial.virtual_makespan);
+
+  std::printf("%4s | %10s %10s %7s | %9s %9s %9s %8s\n", "nt", "fixed",
+              "adaptive", "ratio", "evaluated", "suppressed", "rejected",
+              "pred err");
+  for (const std::size_t nt : {2UL, 4UL, 8UL, 16UL, 32UL, 48UL}) {
+    core::Options fixed = options, adaptive = options;
+    fixed.offer_policy = core::OfferPolicy::kPaperFixed;
+    adaptive.offer_policy = core::OfferPolicy::kAdaptiveGW;
+    const auto rf = vthread::run_virtual(problem, fixed, nt, costs);
+    const auto ra = vthread::run_virtual(problem, adaptive, nt, costs);
+    if (ra.stand_trees != rf.stand_trees ||
+        ra.stand_trees != serial.stand_trees) {
+      std::printf("count mismatch at nt=%zu!\n", nt);
+      return 1;
+    }
+    std::printf("%4zu | %10.0f %10.0f %6.2fx | %9llu %9llu %9llu %7.2fx\n",
+                nt, rf.virtual_makespan, ra.virtual_makespan,
+                rf.virtual_makespan / ra.virtual_makespan,
+                static_cast<unsigned long long>(ra.sched.offers_evaluated),
+                static_cast<unsigned long long>(ra.sched.offers_suppressed),
+                static_cast<unsigned long long>(
+                    rf.sched.queue_full_rejections),
+                ra.sched.offer_prediction_error());
+  }
+  std::printf(
+      "\nratio > 1: the adaptive policy finished sooner. 'rejected' counts\n"
+      "the fixed rule's futile full-queue pushes — serialized traffic the\n"
+      "adaptive controller's cutoff avoids. 'pred err' is the GW model's\n"
+      "adopted-task size error (actual/predicted states, 1.0 = exact).\n");
+  return 0;
+}

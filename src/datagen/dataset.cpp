@@ -240,4 +240,59 @@ Dataset make_superlinear_instance(std::size_t free_taxa, std::uint64_t /*seed*/)
   return ds;
 }
 
+Dataset make_flood_instance(std::size_t depth, std::uint64_t seed) {
+  Dataset ds;
+  ds.name = "flood-" + std::to_string(depth) + "-" + std::to_string(seed);
+  support::Rng rng(seed ^ 0x666c6f6f64ULL);  // "flood"
+  // depth/4 of the anchor clades (at seeded positions) are widened from a
+  // cherry (a_i,b_i) to a triple ((a_i,b_i),c_i): their taxon sees five
+  // admissible branches instead of three. Every seed explores a stand of
+  // the same size (the wide count is fixed) but with a different branching
+  // profile per stratum, so seeds are genuinely independent repetitions of
+  // the scheduling dynamics rather than replays of one symmetric run.
+  std::vector<std::size_t> order(depth);
+  for (std::size_t i = 0; i < depth; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<bool> wide(depth, false);
+  const std::size_t n_wide = std::max<std::size_t>(1, depth / 4);
+  for (std::size_t k = 0; k < n_wide && k < depth; ++k) wide[order[k]] = true;
+  // Spine of anchor clades: (p,q,(C0,(C1,(...,t)))). Spine node s_i joins
+  // clade C_i, the previous spine node (or the (p,q) root) and the next
+  // one (or the terminal taxon t).
+  std::string inner = "t";
+  for (std::size_t i = depth; i-- > 0;) {
+    const std::string is = std::to_string(i);
+    const std::string cherry = "(a" + is + ",b" + is + ")";
+    const std::string clade = wide[i] ? "(" + cherry + ",c" + is + ")" : cherry;
+    inner = "(" + clade + "," + inner + ")";
+  }
+  phylo::NewickOptions opts;
+  ds.constraints.push_back(
+      phylo::parse_newick("(p,q," + inner + ");", ds.taxa, opts));
+  // Flood taxon f_i is pinned by one quartet ((f_i,a_i),(p,t)). The paths
+  // p->a_i (from above) and t->a_i (from below) meet at spine node s_i, so
+  // f_i's admissible set is the component of a_i at s_i: clade i's edges —
+  // three for a cherry, five for a widened triple — at every state,
+  // whatever was inserted elsewhere (no other taxon targets clade i).
+  // Every state of the search therefore has a small constant branch count
+  // and no dead ends: 3^(depth-w)*5^w stand trees, and an offer-eligible
+  // frame at every single state — the densest hand-off pressure the
+  // scheduler can face. With the paper's fixed offer rule the central
+  // queue's critical section becomes the bottleneck at high N_t; the
+  // adaptive policy keeps the tiny deep subtrees local.
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::string fi = "f" + std::to_string(i);
+    ds.constraints.push_back(
+        quartet(ds, fi, "a" + std::to_string(i), "p", "t"));
+  }
+  ds.forced_initial_constraint = 0;
+  for (std::size_t i = 0; i < depth; ++i)
+    ds.forced_insertion_order.push_back(
+        ds.taxa.id_of("f" + std::to_string(i)));
+  // The seed also permutes the insertion order, i.e. which stratum each
+  // clade's branching lands on.
+  rng.shuffle(ds.forced_insertion_order);
+  return ds;
+}
+
 }  // namespace gentrius::datagen

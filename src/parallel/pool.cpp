@@ -30,6 +30,7 @@ struct WorkerOutput {
   std::vector<std::string> trees;
   std::uint64_t tasks_offered = 0;
   std::uint64_t tasks_executed = 0;
+  core::SchedulerStats offer;  // enumerator-side offer-policy counters
   core::SelectionStats selection;
   Enumerator::Prefix::Outcome prefix_outcome =
       Enumerator::Prefix::Outcome::kEmpty;
@@ -170,6 +171,7 @@ void worker_body(std::size_t tid, std::size_t n_threads,
   e.counters().flush_all();
   out.trees = std::move(e.collected_trees());
   out.tasks_offered = e.tasks_offered();
+  out.offer = e.offer_stats();
   out.selection = e.terrace().selection_stats();
 }
 
@@ -186,15 +188,18 @@ Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
   result.initial_split_branches = first.split_branches;
   if (first.prefix_outcome == Enumerator::Prefix::Outcome::kEmpty)
     result.reason = StopReason::kEmptyStand;
+  if (driver != nullptr) result.sched = driver->stats();
   for (auto& o : outputs) {
     result.tasks_executed += o.tasks_executed;
     result.tasks_offered += o.tasks_offered;
     result.selection.merge(o.selection);
+    // Producer/thief-side offer-policy counters join the scheduler-side
+    // stats: both pools and both simulators report them uniformly.
+    result.sched.merge(o.offer);
     result.trees.insert(result.trees.end(),
                         std::make_move_iterator(o.trees.begin()),
                         std::make_move_iterator(o.trees.end()));
   }
-  if (driver != nullptr) result.sched = driver->stats();
   return result;
 }
 
@@ -205,6 +210,9 @@ Result run_pool(const Problem& problem, const Options& options,
         "run_parallel/run_static_split enumerate one instance; "
         "Options::decompose = kComponents is honored by "
         "decompose::run_parallel (src/decompose)");
+  // Wall clock for Result::seconds (reported diagnostics, never a
+  // scheduling input) and for stopping rule 3, real-time by definition.
+  // lint:allow(wall-clock)
   support::Stopwatch clock;
   CounterSink sink(options.stop);
   std::vector<WorkerOutput> outputs(n_threads);

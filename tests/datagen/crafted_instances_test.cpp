@@ -3,6 +3,9 @@
 // in src/datagen/dataset.cpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "datagen/dataset.hpp"
 #include "gentrius/serial.hpp"
 #include "oracle/brute_force.hpp"
@@ -90,6 +93,53 @@ TEST(SuperlinearInstance, CompletesCorrectlyWithoutLimits) {
   EXPECT_EQ(r.stand_trees, oracle::brute_force_stand_count(ds.constraints));
   EXPECT_GT(r.stand_trees, 0u);
   EXPECT_GT(r.dead_ends, 0u);
+}
+
+// Expected stand size of make_flood_instance(depth, seed): each flood taxon
+// is pinned to its own clade — a cherry (3 admissible edges) or, for the
+// depth/4 seeded "wide" positions, a 3-taxon clade (5 edges) — and the
+// choices are independent, so the stand is an exact product.
+std::uint64_t flood_stand_size(std::size_t depth) {
+  const std::size_t wide = std::max<std::size_t>(1, depth / 4);
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < depth - wide; ++i) n *= 3;
+  for (std::size_t i = 0; i < wide; ++i) n *= 5;
+  return n;
+}
+
+TEST(FloodInstance, EnumeratesTheDesignedProductStand) {
+  const auto ds = datagen::make_flood_instance(/*depth=*/6, /*seed=*/3);
+  const auto opts = crafted_options(ds);
+  const auto r = core::run_serial(ds.constraints, opts);
+  EXPECT_EQ(r.reason, StopReason::kCompleted);
+  EXPECT_EQ(r.stand_trees, flood_stand_size(6));
+  // Every admissible branch leads to a stand tree: the family stresses
+  // task granularity, never pruning.
+  EXPECT_EQ(r.dead_ends, 0u);
+}
+
+TEST(FloodInstance, SeedsVaryTheOrderNotTheStand) {
+  const auto a = datagen::make_flood_instance(/*depth=*/8, /*seed=*/1);
+  const auto b = datagen::make_flood_instance(/*depth=*/8, /*seed=*/2);
+  EXPECT_NE(a.forced_insertion_order, b.forced_insertion_order)
+      << "seeds must produce genuinely different replicate instances";
+  const auto ra = core::run_serial(a.constraints, crafted_options(a));
+  const auto rb = core::run_serial(b.constraints, crafted_options(b));
+  EXPECT_EQ(ra.stand_trees, flood_stand_size(8));
+  EXPECT_EQ(rb.stand_trees, flood_stand_size(8));
+}
+
+TEST(FloodInstance, FloodsTheBoundedQueue) {
+  // The design target: under the paper's fixed offer rule, offer-eligible
+  // frames vastly outnumber the central queue's capacity, so most offers
+  // bounce off the full ring.
+  const auto ds = datagen::make_flood_instance(/*depth=*/10, /*seed=*/1);
+  const auto opts = crafted_options(ds);
+  const auto problem = core::build_problem(ds.constraints, opts);
+  const auto r = vthread::run_virtual(problem, opts, 8);
+  EXPECT_EQ(r.reason, StopReason::kCompleted);
+  EXPECT_GT(r.sched.queue_full_rejections, 1'000u);
+  EXPECT_GT(r.sched.queue_full_rejections, 2 * r.tasks_offered);
 }
 
 }  // namespace

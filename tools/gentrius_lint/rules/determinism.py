@@ -142,7 +142,12 @@ class DeterminismRule:
     # src/decompose joined in PR 8: the sharded driver feeds golden traces
     # and product-law differentials, so it carries the same bit-identical
     # replay promise as the engine and the simulator.
-    dirs = ("src/vthread", "src/gentrius", "src/decompose")
+    # src/parallel joined with the adaptive offer policy: the pool's
+    # backlog/handoff signals now feed the enumerator's offer decisions,
+    # which the policy-equivalence suite requires to match the virtual
+    # drivers exactly — ambient time or randomness on that path would
+    # silently diverge real from simulated scheduling.
+    dirs = ("src/vthread", "src/gentrius", "src/decompose", "src/parallel")
 
     @staticmethod
     def describe() -> str:
@@ -196,6 +201,17 @@ class DeterminismRule:
                        "src/decompose/sharded.cpp",
                        any(f.code == "wall-clock"
                            for f in _lint_file(seeded_decompose))))
+        # Seeded violation in the newly scanned src/parallel directory:
+        # ambient randomness planted in the task queue's backlog probe —
+        # the adaptive offer policy's decision input — must fire.
+        seeded_parallel = core.SourceFile(
+            "src/parallel/task_queue.hpp",
+            "std::mt19937 gen; return gen() % capacity_;\n",
+            PATTERNS.keys())
+        checks.append(("rand: fires on seeded violation in "
+                       "src/parallel/task_queue.hpp",
+                       any(f.code == "rand"
+                           for f in _lint_file(seeded_parallel))))
         return checks
 
 
