@@ -1,0 +1,140 @@
+#include "benchutil/edit_stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "decompose/components.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::benchutil {
+
+namespace {
+
+using incremental::PamDelta;
+
+/// Interaction-graph shape the stream must preserve: component count plus
+/// the sorted component sizes (the residual size signature).
+struct Structure {
+  std::size_t components = 0;
+  std::vector<std::size_t> sizes;
+
+  bool operator==(const Structure& o) const {
+    return components == o.components && sizes == o.sizes;
+  }
+};
+
+Structure structure_of(const phylo::Tree& species, const pam::Pam& pam,
+                       std::size_t min_taxa) {
+  const auto dec = decompose::analyze_pam(species, pam, min_taxa);
+  Structure s;
+  s.components = dec.split.components.size();
+  for (const auto& comp : dec.split.components)
+    s.sizes.push_back(comp.taxa.size());
+  std::sort(s.sizes.begin(), s.sizes.end());
+  return s;
+}
+
+std::size_t present_count(const pam::Pam& pam, std::size_t locus) {
+  std::size_t n = 0;
+  pam.locus_taxa(locus).for_each([&](std::size_t) { ++n; });
+  return n;
+}
+
+/// taxon -> component index under the current decomposition (one past the
+/// component count for taxa outside every constraint).
+std::vector<std::size_t> owner_of_taxon(const phylo::Tree& species,
+                                        const pam::Pam& pam,
+                                        std::size_t min_taxa) {
+  const auto dec = decompose::analyze_pam(species, pam, min_taxa);
+  std::vector<std::size_t> owner(pam.taxon_count(),
+                                 dec.split.components.size());
+  for (std::size_t c = 0; c < dec.split.components.size(); ++c)
+    for (const phylo::TaxonId t : dec.split.components[c].taxa)
+      if (t < owner.size()) owner[t] = c;
+  return owner;
+}
+
+/// Fills of below-floor loci that keep the locus below the floor: the
+/// induced constraint set — and so every component — is untouched.
+std::vector<PamDelta> noop_candidates(const pam::Pam& pam,
+                                      std::size_t min_taxa) {
+  std::vector<PamDelta> out;
+  for (std::size_t l = 0; l < pam.locus_count(); ++l) {
+    const std::size_t count = present_count(pam, l);
+    if (count == 0 || count + 1 >= min_taxa) continue;
+    for (phylo::TaxonId t = 0; t < pam.taxon_count(); ++t)
+      if (!pam.present(t, l)) out.push_back(PamDelta::fill_cell(t, l));
+  }
+  return out;
+}
+
+/// Cell toggles on constraint loci that plausibly keep the structure: the
+/// toggled taxon stays inside the locus's component, the locus stays at or
+/// above the floor. Plausible only — the caller trial-applies and
+/// re-decomposes before accepting.
+std::vector<PamDelta> structural_candidates(const phylo::Tree& species,
+                                            const pam::Pam& pam,
+                                            std::size_t min_taxa) {
+  const auto owner = owner_of_taxon(species, pam, min_taxa);
+  std::vector<PamDelta> out;
+  for (std::size_t l = 0; l < pam.locus_count(); ++l) {
+    const std::size_t count = present_count(pam, l);
+    if (count < min_taxa) continue;
+    std::size_t locus_comp = owner.size();
+    pam.locus_taxa(l).for_each([&](std::size_t t) { locus_comp = owner[t]; });
+    for (phylo::TaxonId t = 0; t < pam.taxon_count(); ++t) {
+      if (owner[t] != locus_comp) continue;
+      if (!pam.present(t, l))
+        out.push_back(PamDelta::fill_cell(t, l));
+      else if (count > min_taxa)
+        out.push_back(PamDelta::clear_cell(t, l));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PamDelta> make_edit_stream(const phylo::Tree& species_tree,
+                                       const pam::Pam& start,
+                                       const EditStreamParams& params) {
+  pam::Pam sim = start;
+  support::Rng rng(params.seed * 0x9e3779b97f4a7c15ULL + 0xedc7);
+  const Structure baseline =
+      structure_of(species_tree, sim, params.min_taxa);
+
+  std::vector<PamDelta> stream;
+  while (stream.size() < params.n_edits) {
+    const bool want_noop = rng.bernoulli(params.noop_fraction);
+    auto cands = want_noop ? noop_candidates(sim, params.min_taxa)
+                           : structural_candidates(species_tree, sim,
+                                                   params.min_taxa);
+    if (cands.empty())
+      cands = want_noop
+                  ? structural_candidates(species_tree, sim, params.min_taxa)
+                  : noop_candidates(sim, params.min_taxa);
+
+    bool accepted = false;
+    while (!cands.empty()) {
+      const std::size_t pick = rng.below(cands.size());
+      const PamDelta edit = cands[pick];
+      cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(pick));
+      pam::Pam trial = sim;
+      incremental::apply_edit(trial, edit, species_tree.leaf_count());
+      if (!(structure_of(species_tree, trial, params.min_taxa) == baseline))
+        continue;
+      sim = std::move(trial);
+      stream.push_back(edit);
+      accepted = true;
+      break;
+    }
+    if (!accepted)
+      throw support::InvalidInput(
+          "edit stream: no structure-preserving edit exists at step " +
+          std::to_string(stream.size()));
+  }
+  return stream;
+}
+
+}  // namespace gentrius::benchutil

@@ -1,0 +1,46 @@
+// Deterministic structure-preserving PAM edit streams for the incremental
+// bench family (BENCH_9) and the incremental_edits example.
+//
+// Every generated edit is a cell toggle that keeps the interaction-graph
+// structure of the matrix fixed: same number of components, same sorted
+// component sizes. That pins the residual size signature — and therefore
+// the closed-form interleaving count M — across the whole stream, so each
+// edit dirties at most the one component whose locus it touches. Two edit
+// flavors are mixed:
+//   - structural: fill/clear a cell of a constraint locus, with the taxon
+//     staying inside the locus's component (dirties exactly 1 component);
+//   - no-op: fill a cell of a below-floor locus that stays below the floor
+//     (the induced constraint set is unchanged; dirties 0 components).
+// Candidates are validated by re-decomposing a trial matrix, so the stream
+// is correct by construction, not by hope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "incremental/delta.hpp"
+#include "pam/pam.hpp"
+#include "phylo/tree.hpp"
+
+namespace gentrius::benchutil {
+
+struct EditStreamParams {
+  std::uint64_t seed = 1;
+  std::size_t n_edits = 12;
+  /// Constraint floor the consuming session runs with
+  /// (SessionOptions::min_taxa): structure is validated against it and
+  /// no-op fills keep their locus strictly below it.
+  std::size_t min_taxa = 4;
+  /// Fraction of edits drawn from the no-op flavor (kept when candidates
+  /// exist; falls back to structural edits otherwise).
+  double noop_fraction = 0.25;
+};
+
+/// Generates the stream against a simulated copy of `start` (each edit is
+/// valid after the previous ones). Throws InvalidInput when no
+/// structure-preserving edit exists at some step.
+std::vector<incremental::PamDelta> make_edit_stream(
+    const phylo::Tree& species_tree, const pam::Pam& start,
+    const EditStreamParams& params);
+
+}  // namespace gentrius::benchutil

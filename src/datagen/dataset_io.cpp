@@ -46,6 +46,25 @@ void write_dataset(const Dataset& dataset, const std::string& directory) {
   if (dataset.pam.taxon_count() > 0)
     write_file(dir / "matrix.pam", dataset.pam.to_text(dataset.taxa));
   write_file(dir / "name.txt", dataset.name + "\n");
+
+  // Crafted instances carry engine overrides; without them a reloaded
+  // Fig. 5-style dataset would silently run with the heuristics on and
+  // reproduce nothing. Insertion order is stored by label so it survives
+  // the taxon-id permutation a reload may introduce.
+  if (dataset.forced_initial_constraint ||
+      !dataset.forced_insertion_order.empty()) {
+    std::string overrides;
+    if (dataset.forced_initial_constraint)
+      overrides += "initial_constraint " +
+                   std::to_string(*dataset.forced_initial_constraint) + "\n";
+    if (!dataset.forced_insertion_order.empty()) {
+      overrides += "insertion_order";
+      for (const auto t : dataset.forced_insertion_order)
+        overrides += " " + dataset.taxa.name(t);
+      overrides += "\n";
+    }
+    write_file(dir / "overrides.txt", overrides);
+  }
 }
 
 Dataset load_dataset(const std::string& directory) {
@@ -74,6 +93,35 @@ Dataset load_dataset(const std::string& directory) {
   }
   if (ds.constraints.empty())
     throw InvalidInput("dataset has no constraint trees: " + directory);
+
+  // After the constraints: every label the overrides may reference is
+  // registered by now, so id_of resolves (and throws on a corrupt file).
+  if (fs::exists(dir / "overrides.txt")) {
+    std::istringstream over(read_file(dir / "overrides.txt"));
+    std::string key;
+    while (over >> key) {
+      if (key == "initial_constraint") {
+        std::size_t index = 0;
+        if (!(over >> index))
+          throw InvalidInput("overrides.txt: initial_constraint needs an "
+                             "index: " + directory);
+        if (index >= ds.constraints.size())
+          throw InvalidInput("overrides.txt: initial_constraint out of "
+                             "range: " + directory);
+        ds.forced_initial_constraint = index;
+      } else if (key == "insertion_order") {
+        std::string rest;
+        std::getline(over, rest);
+        std::istringstream labels(rest);
+        std::string label;
+        while (labels >> label)
+          ds.forced_insertion_order.push_back(ds.taxa.id_of(label));
+      } else {
+        throw InvalidInput("overrides.txt: unknown key '" + key +
+                           "': " + directory);
+      }
+    }
+  }
   return ds;
 }
 

@@ -7,6 +7,9 @@
 //   <dir>/species.nwk       the ground-truth species tree (when present)
 //   <dir>/matrix.pam        the presence/absence matrix (when present)
 //   <dir>/name.txt          the dataset name
+//   <dir>/overrides.txt     crafted-instance engine overrides (when set):
+//                           "initial_constraint <index>" and/or
+//                           "insertion_order <label> <label> ..."
 #pragma once
 
 #include <string>

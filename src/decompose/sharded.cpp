@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "decompose/shard_exec.hpp"
 #include "gentrius/problem.hpp"
 #include "gentrius/serial.hpp"
 #include "phylo/newick.hpp"
@@ -13,7 +14,7 @@
 
 namespace gentrius::decompose {
 
-namespace {
+namespace detail {
 
 using core::Options;
 using core::Result;
@@ -30,6 +31,46 @@ std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b,
   return a * b;
 }
 
+ResidualClosedForm closed_form_residual(const ComponentSplit& split) {
+  ResidualClosedForm out;
+  std::size_t universe = 0;
+  for (const Component& comp : split.components) {
+    if (!comp.enumerable) return out;
+    universe += comp.taxa.size();
+  }
+  out.applicable = true;
+
+  using u128 = unsigned __int128;
+  constexpr u128 kMax128 = ~static_cast<u128>(0);
+  constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+  u128 num = 1;
+  for (std::size_t k = 4; k <= universe; ++k) {
+    const u128 f = 2 * k - 5;
+    if (num > kMax128 / f) {
+      // Numerator needs > 128 bits (universe > 37); M >= (2n-5)!! / (2n-7)!!
+      // per component merge is astronomically past uint64 by then.
+      out.saturated = true;
+      out.count = kMax64;
+      return out;
+    }
+    num *= f;
+  }
+  // The denominator divides the numerator exactly (M is a tree count), and
+  // it never exceeds it, so a single 128-bit division is exact.
+  u128 den = 1;
+  for (const Component& comp : split.components)
+    for (std::size_t k = 4; k <= comp.taxa.size(); ++k) den *= 2 * k - 5;
+  const u128 m = num / den;
+  GENTRIUS_DCHECK(m * den == num);
+  if (m > kMax64) {
+    out.saturated = true;
+    out.count = kMax64;
+  } else {
+    out.count = static_cast<std::uint64_t>(m);
+  }
+  return out;
+}
+
 std::vector<phylo::Tree> subset_constraints(
     const std::vector<phylo::Tree>& constraints, const Component& comp) {
   std::vector<phylo::Tree> out;
@@ -39,10 +80,6 @@ std::vector<phylo::Tree> subset_constraints(
   return out;
 }
 
-/// Shard-local option view: whole-instance overrides cannot survive into a
-/// shard (initial_constraint indexes the whole constraint list, an
-/// insertion_order permutes the whole missing-taxa set), and the shard
-/// itself must never recurse into decomposition.
 Options shard_options(const Options& options) {
   Options o = options;
   o.decompose = core::Decompose::kOff;
@@ -97,7 +134,6 @@ void accumulate(Result& out, const Result& r) {
     out.reason = r.reason;
 }
 
-/// Sharded virtual-time accounting (virtual backend only; see CostModel).
 double combine_makespans(const std::vector<double>& makespans,
                          const ShardRunOptions& run) {
   const double dispatch = run.costs.shard_dispatch_cost;
@@ -117,6 +153,64 @@ double combine_makespans(const std::vector<double>& makespans,
         finish, dispatch * static_cast<double>(s + 1) + makespans[s]);
   return finish + merge * n;
 }
+
+void stream_cross_product(
+    const std::vector<std::vector<std::string>>& component_stands,
+    const std::vector<phylo::Tree>& passthrough, phylo::TaxonSet& labels,
+    const core::Options& base, const core::Options& caller,
+    std::uint64_t residual_count, core::Result& out) {
+  const std::size_t k = component_stands.size();
+  // done: a truncated-to-empty component list (collect_limit == 0), or
+  // the odometer wrapped — every tuple has been streamed.
+  bool done = false;
+  for (const auto& stand : component_stands)
+    if (stand.empty()) done = true;
+  std::vector<std::size_t> index(k, 0);
+  Options tuple_opts = base;
+  tuple_opts.collect_trees = true;
+  tuple_opts.tree_names = caller.tree_names;
+  while (!done && out.trees.size() < caller.collect_limit) {
+    std::vector<phylo::Tree> tuple = passthrough;
+    for (std::size_t i = 0; i < k; ++i)
+      tuple.push_back(
+          phylo::parse_newick(component_stands[i][index[i]], labels));
+    tuple_opts.collect_limit = caller.collect_limit - out.trees.size();
+    Result r = core::run_serial(tuple, tuple_opts);
+    // Shape independence of the interleaving count: every tuple instance
+    // has the residual instance's count (the residual *is* the canonical
+    // representatives' tuple).
+    GENTRIUS_DCHECK(r.reason != StopReason::kCompleted ||
+                    out.reason != StopReason::kCompleted ||
+                    r.stand_trees == residual_count);
+    out.trees.insert(out.trees.end(),
+                     std::make_move_iterator(r.trees.begin()),
+                     std::make_move_iterator(r.trees.end()));
+    // Odometer over the tuple space, last component fastest.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (++index[i] < component_stands[i].size()) break;
+      index[i] = 0;
+      if (i == 0) done = true;  // wrapped: all tuples streamed
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using core::Options;
+using core::Result;
+using core::ShardStats;
+using core::StopReason;
+using detail::accumulate;
+using detail::combine_makespans;
+using detail::make_stats;
+using detail::run_one_shard;
+using detail::saturating_mul;
+using detail::shard_options;
+using detail::subset_constraints;
 
 }  // namespace
 
@@ -181,6 +275,7 @@ ShardPlan plan_shards(const std::vector<phylo::Tree>& constraints) {
 
 Result run_sharded(const std::vector<phylo::Tree>& constraints,
                    const Options& options, const ShardRunOptions& run) {
+  core::validate_options(options, core::OptionsSurface::kSharded);
   ShardPlan plan = plan_shards(constraints);
   const Options base = shard_options(options);
 
@@ -219,7 +314,23 @@ Result run_sharded(const std::vector<phylo::Tree>& constraints,
   }
 
   std::uint64_t residual_count = 0;
-  if (!plan.empty_component) {
+  detail::ResidualClosedForm closed;
+  if (run.residual_closed_form && !plan.empty_component)
+    closed = detail::closed_form_residual(plan.split);
+  if (closed.applicable) {
+    std::size_t universe = 0;
+    for (const Component& comp : plan.split.components)
+      universe += comp.taxa.size();
+    ShardStats s;
+    s.kind = ShardStats::Kind::kResidual;
+    s.n_taxa = universe;
+    s.n_constraints = plan.residual_constraints.size();
+    s.stand_trees = closed.count;
+    out.shards.push_back(s);
+    residual_count = closed.count;
+    if (closed.saturated) out.count_saturated = true;
+    product = saturating_mul(product, residual_count, out.count_saturated);
+  } else if (!plan.empty_component) {
     Options res_opts = base;
     res_opts.collect_trees = false;
     const Result r = run_one_shard(plan.residual_constraints, res_opts, run);
@@ -240,48 +351,14 @@ Result run_sharded(const std::vector<phylo::Tree>& constraints,
   if (run.backend == ShardBackend::kVirtual)
     out.virtual_makespan = combine_makespans(makespans, run);
 
-  // Cross-product streaming: every tuple of component stand trees, plus the
-  // vacuous pass-through constraints, is an instance whose stand is a slice
-  // of the whole stand; the slices are disjoint and exhaustive. Tuple
-  // instances are enumerated serially (they are interleaving-only and
-  // cheap: no component branching remains inside them).
-  if (options.collect_trees && product > 0 && !component_stands.empty()) {
-    const std::size_t k = component_stands.size();
-    // done: a truncated-to-empty component list (collect_limit == 0), or
-    // the odometer wrapped — every tuple has been streamed.
-    bool done = false;
-    for (const auto& stand : component_stands)
-      if (stand.empty()) done = true;
-    std::vector<std::size_t> index(k, 0);
-    Options tuple_opts = base;
-    tuple_opts.collect_trees = true;
-    tuple_opts.tree_names = options.tree_names;
-    while (!done && out.trees.size() < options.collect_limit) {
-      std::vector<phylo::Tree> tuple = plan.passthrough;
-      for (std::size_t i = 0; i < k; ++i)
-        tuple.push_back(
-            phylo::parse_newick(component_stands[i][index[i]], plan.labels));
-      tuple_opts.collect_limit = options.collect_limit - out.trees.size();
-      Result r = core::run_serial(tuple, tuple_opts);
-      // Shape independence of the interleaving count: every tuple instance
-      // has the residual instance's count (the residual *is* the canonical
-      // representatives' tuple).
-      GENTRIUS_DCHECK(r.reason != StopReason::kCompleted ||
-                      out.reason != StopReason::kCompleted ||
-                      r.stand_trees == residual_count);
-      out.trees.insert(out.trees.end(),
-                       std::make_move_iterator(r.trees.begin()),
-                       std::make_move_iterator(r.trees.end()));
-      // Odometer over the tuple space, last component fastest.
-      std::size_t i = k;
-      while (i > 0) {
-        --i;
-        if (++index[i] < component_stands[i].size()) break;
-        index[i] = 0;
-        if (i == 0) done = true;  // wrapped: all tuples streamed
-      }
-    }
-  }
+  // Cross-product streaming: tuple instances are enumerated serially (they
+  // are interleaving-only and cheap: no component branching remains inside
+  // them). Shared with the incremental session (shard_exec.hpp) so both
+  // drivers stream the identical tree sequence.
+  if (options.collect_trees && product > 0 && !component_stands.empty())
+    detail::stream_cross_product(component_stands, plan.passthrough,
+                                 plan.labels, base, options, residual_count,
+                                 out);
   return out;
 }
 

@@ -78,6 +78,17 @@ struct ShardRunOptions {
   parallel::LaunchMode launch_mode = parallel::LaunchMode::kStdThread;
   ShardSchedule schedule = ShardSchedule::kSequential;
   vthread::CostModel costs;  ///< virtual backend only
+  /// Compute the residual shard's interleaving count in closed form,
+  ///   M = (2n-5)!! / prod_i (2n_i-5)!!
+  /// (shape independence; DESIGN.md "Decomposition"), instead of
+  /// enumerating the residual instance. Exact — the product-law suite
+  /// proves the identity against enumeration — but applied only when every
+  /// component is enumerable; instances with pass-through constraints fall
+  /// back to enumeration. Off by default: the enumerated residual run (and
+  /// its golden trace lines) is part of the paper-faithful output. This is
+  /// what makes instances with many components tractable at all: M grows
+  /// double-factorially with the universe and dwarfs every component shard.
+  bool residual_closed_form = false;
 };
 
 /// The executable decomposition of an instance: the component split, one

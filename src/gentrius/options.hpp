@@ -291,6 +291,31 @@ struct SelectionStats {
   }
 };
 
+/// Incremental-session cache observability (src/incremental): how much of a
+/// re-enumeration was served from the fingerprint-keyed ResultCache versus
+/// recomputed through the engine. `reused_states` counts the intermediate
+/// states the cached shard runs had expanded when first computed — work this
+/// run did *not* repeat; `recomputed_states` is the work it did.
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< lookups answered from cache (components + residual)
+  std::uint64_t misses = 0;     ///< lookups that fell through to enumeration
+  std::uint64_t evictions = 0;  ///< LRU entries dropped to respect capacity
+  std::uint64_t reused_components = 0;      ///< component shards served from cache
+  std::uint64_t recomputed_components = 0;  ///< component shards re-enumerated
+  std::uint64_t reused_states = 0;      ///< states the cached results stand in for
+  std::uint64_t recomputed_states = 0;  ///< states actually expanded this run
+
+  void merge(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    reused_components += o.reused_components;
+    recomputed_components += o.recomputed_components;
+    reused_states += o.reused_states;
+    recomputed_states += o.recomputed_states;
+  }
+};
+
 /// One shard of a decomposed run (Options::decompose = kComponents): either
 /// a connected component of the constraint-overlap graph or the canonical
 /// residual instance that carries the interleaving count (see
@@ -310,6 +335,9 @@ struct ShardStats {
   SelectionStats selection;              ///< selection work within the shard
   SchedulerStats sched;                  ///< scheduler traffic within the shard
   double virtual_makespan = 0.0;         ///< virtual-backend shard makespan
+  /// Incremental sessions only: this shard's result was served from the
+  /// ResultCache (the stats describe the run that originally computed it).
+  bool reused = false;
 };
 
 inline const char* to_string(ShardStats::Kind k) {
@@ -344,6 +372,44 @@ struct Result {
   // and whether the product of shard counts saturated std::uint64_t.
   std::vector<ShardStats> shards;
   bool count_saturated = false;
+
+  // Incremental runs only (incremental::IncrementalSession): cache traffic
+  // of this re-enumeration. All-zero for every other driver.
+  CacheStats cache;
 };
+
+// ---- option-combination validation -----------------------------------------
+
+/// Where an Options object is about to be consumed. Each surface honors a
+/// different subset of the combination space, and validate_options rejects
+/// the combinations that surface cannot honor with an InvalidInput that
+/// names the option — instead of a silent ignore or a deep-in-the-stack
+/// failure.
+enum class OptionsSurface : std::uint8_t {
+  /// The monolithic drivers (core::run_serial, parallel::run_parallel,
+  /// vthread::run_virtual): exactly one instance, no decomposition.
+  kSingleInstance,
+  /// decompose::run_sharded and the decompose::run_* dispatchers: every
+  /// decompose mode is honored here.
+  kSharded,
+  /// incremental::IncrementalSession: requires component analysis, so
+  /// Options::decompose must be kComponents.
+  kIncremental,
+};
+
+inline const char* to_string(OptionsSurface s) {
+  switch (s) {
+    case OptionsSurface::kSingleInstance: return "single-instance";
+    case OptionsSurface::kSharded: return "sharded";
+    case OptionsSurface::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+/// Validates an Options object for the given surface; throws
+/// support::InvalidInput naming the offending option. The single source of
+/// truth for combination rules — every driver calls this before running
+/// (tests/gentrius/options_validate_test.cpp pins the rejection matrix).
+void validate_options(const Options& options, OptionsSurface surface);
 
 }  // namespace gentrius::core

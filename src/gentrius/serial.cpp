@@ -6,10 +6,7 @@
 namespace gentrius::core {
 
 Result run_serial(const Problem& problem, const Options& options) {
-  if (options.decompose != Decompose::kOff)
-    throw support::InvalidInput(
-        "run_serial enumerates one instance; Options::decompose = "
-        "kComponents is honored by decompose::run_serial (src/decompose)");
+  validate_options(options, OptionsSurface::kSingleInstance);
   Options opts = options;
   opts.tree_flush_batch = 1;
   opts.state_flush_batch = 1;

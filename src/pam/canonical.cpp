@@ -1,0 +1,169 @@
+#include "pam/canonical.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gentrius::pam {
+
+namespace {
+
+using support::mix_hash;
+
+std::size_t distinct_count(std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  return static_cast<std::size_t>(
+      std::unique(values.begin(), values.end()) - values.begin());
+}
+
+/// Bipartite WL: locus colors fold the sorted multiset of their member
+/// taxon colors, then taxon colors fold the sorted multiset of their
+/// incident locus colors. Iterates until the taxon partition is stable.
+void refine_colors(const Pam& pam, std::vector<std::uint64_t>& tcolor) {
+  const std::size_t n_taxa = pam.taxon_count();
+  const std::size_t n_loci = pam.locus_count();
+  std::size_t distinct = distinct_count(tcolor);
+
+  std::vector<std::uint64_t> lcolor(n_loci);
+  std::vector<std::uint64_t> member;
+  std::vector<std::vector<std::uint64_t>> incident(n_taxa);
+  for (std::size_t round = 0; round <= n_taxa; ++round) {
+    for (std::size_t l = 0; l < n_loci; ++l) {
+      member.clear();
+      pam.locus_taxa(l).for_each(
+          [&](std::size_t x) { member.push_back(tcolor[x]); });
+      std::sort(member.begin(), member.end());
+      std::uint64_t h = 0x10c5ULL;
+      for (const std::uint64_t v : member) h = mix_hash(h, v);
+      lcolor[l] = h;
+    }
+    for (auto& inc : incident) inc.clear();
+    for (std::size_t l = 0; l < n_loci; ++l)
+      pam.locus_taxa(l).for_each(
+          [&](std::size_t x) { incident[x].push_back(lcolor[l]); });
+    for (std::size_t x = 0; x < n_taxa; ++x) {
+      std::sort(incident[x].begin(), incident[x].end());
+      std::uint64_t h = mix_hash(0x7a30ULL, tcolor[x]);
+      for (const std::uint64_t v : incident[x]) h = mix_hash(h, v);
+      tcolor[x] = h;
+    }
+    const std::size_t now = distinct_count(tcolor);
+    if (now == distinct) break;
+    distinct = now;
+  }
+}
+
+/// Rows as 0/1 strings over the canonical taxon order, sorted — the sort
+/// makes the encoding locus-order invariant.
+std::string encode_under_order(const Pam& pam,
+                               const std::vector<TaxonId>& order) {
+  std::vector<std::string> rows;
+  rows.reserve(pam.locus_count());
+  for (std::size_t l = 0; l < pam.locus_count(); ++l) {
+    std::string row(order.size(), '0');
+    for (std::size_t r = 0; r < order.size(); ++r)
+      if (pam.present(order[r], l)) row[r] = '1';
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out = "pam-v1 " + std::to_string(pam.taxon_count()) + " " +
+                    std::to_string(pam.locus_count()) + "\n";
+  for (const auto& row : rows) {
+    out += row;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// Two taxa are twins when their incidence rows are identical. Swapping
+/// twins permutes equal columns of every row, so any twin order yields the
+/// byte-identical encoding — twin ties can break by taxon id without losing
+/// relabel invariance.
+bool are_twins(const Pam& pam, TaxonId a, TaxonId b) {
+  for (std::size_t l = 0; l < pam.locus_count(); ++l)
+    if (pam.present(a, l) != pam.present(b, l)) return false;
+  return true;
+}
+
+struct PamCanonicalizer {
+  const Pam& pam;
+  int budget = 48;
+  bool invariant = true;
+
+  std::string encode(std::vector<std::uint64_t> color,
+                     std::vector<TaxonId>* order_out) {
+    refine_colors(pam, color);
+    std::vector<TaxonId> sorted(pam.taxon_count());
+    for (TaxonId x = 0; x < pam.taxon_count(); ++x) sorted[x] = x;
+    std::sort(sorted.begin(), sorted.end(), [&](TaxonId a, TaxonId b) {
+      return color[a] != color[b] ? color[a] < color[b] : a < b;
+    });
+
+    // First tied class that is not a twin class; twin ties are harmless.
+    std::size_t tie_begin = sorted.size();
+    std::size_t tie_end = tie_begin;
+    for (std::size_t i = 0; i + 1 < sorted.size();) {
+      if (color[sorted[i]] != color[sorted[i + 1]]) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i + 2;
+      while (end < sorted.size() && color[sorted[end]] == color[sorted[i]])
+        ++end;
+      bool twins = true;
+      for (std::size_t j = i + 1; j < end && twins; ++j)
+        twins = are_twins(pam, sorted[i], sorted[j]);
+      if (!twins) {
+        tie_begin = i;
+        tie_end = end;
+        break;
+      }
+      i = end;
+    }
+
+    if (tie_begin == sorted.size()) {
+      if (order_out) *order_out = sorted;
+      return encode_under_order(pam, sorted);
+    }
+
+    const int class_size = static_cast<int>(tie_end - tie_begin);
+    if (budget < class_size) {
+      invariant = false;
+      if (order_out) *order_out = sorted;
+      return encode_under_order(pam, sorted);
+    }
+    budget -= class_size;
+
+    std::string best;
+    std::vector<TaxonId> best_order;
+    for (std::size_t i = tie_begin; i < tie_end; ++i) {
+      std::vector<std::uint64_t> branched = color;
+      branched[sorted[i]] = mix_hash(0x1d1dULL, branched[sorted[i]]);
+      std::vector<TaxonId> branch_order;
+      std::string enc = encode(std::move(branched), &branch_order);
+      if (best.empty() || enc < best) {
+        best = std::move(enc);
+        best_order = std::move(branch_order);
+      }
+    }
+    if (order_out) *order_out = std::move(best_order);
+    return best;
+  }
+};
+
+}  // namespace
+
+CanonicalPam canonical_encode(const Pam& pam) {
+  PamCanonicalizer canon{pam};
+  std::vector<std::uint64_t> color(pam.taxon_count(), 0x1ULL);
+  CanonicalPam out;
+  out.encoding = canon.encode(std::move(color), &out.order);
+  out.fp = support::fingerprint_bytes(out.encoding);
+  out.relabel_invariant = canon.invariant;
+  return out;
+}
+
+support::Fingerprint fingerprint(const Pam& pam) {
+  return canonical_encode(pam).fp;
+}
+
+}  // namespace gentrius::pam

@@ -22,6 +22,22 @@ void Pam::set_present(TaxonId taxon, std::size_t locus, bool value) {
     loci_[locus].reset(taxon);
 }
 
+std::size_t Pam::add_locus() {
+  loci_.emplace_back(taxon_count_);
+  return loci_.size() - 1;
+}
+
+TaxonId Pam::add_taxon() {
+  // Bitset::resize zeroes the set; grow by rebuilding so presence survives.
+  ++taxon_count_;
+  for (auto& l : loci_) {
+    support::Bitset grown(taxon_count_);
+    l.for_each([&](std::size_t t) { grown.set(t); });
+    l = std::move(grown);
+  }
+  return static_cast<TaxonId>(taxon_count_ - 1);
+}
+
 std::vector<TaxonId> Pam::locus_taxa_list(std::size_t locus) const {
   return loci_.at(locus).to_indices();
 }

@@ -34,6 +34,14 @@ class Pam {
 
   void set_present(TaxonId taxon, std::size_t locus, bool value = true);
 
+  /// Appends an all-absent locus; returns its index (incremental edit model:
+  /// a new marker enters the dataset, cells fill afterwards).
+  std::size_t add_locus();
+
+  /// Grows the taxon dimension by one all-absent row; returns the new id
+  /// (a newly sequenced taxon; it gains data via set_present).
+  TaxonId add_taxon();
+
   /// Taxa with data for the locus, as a bitset over [0, taxon_count).
   const support::Bitset& locus_taxa(std::size_t locus) const {
     return loci_.at(locus);

@@ -205,11 +205,7 @@ Result assemble(const CounterSink& sink, std::vector<WorkerOutput>& outputs,
 
 Result run_pool(const Problem& problem, const Options& options,
                 std::size_t n_threads, LaunchMode mode, bool work_stealing) {
-  if (options.decompose != core::Decompose::kOff)
-    throw support::InvalidInput(
-        "run_parallel/run_static_split enumerate one instance; "
-        "Options::decompose = kComponents is honored by "
-        "decompose::run_parallel (src/decompose)");
+  core::validate_options(options, core::OptionsSurface::kSingleInstance);
   // Wall clock for Result::seconds (reported diagnostics, never a
   // scheduling input) and for stopping rule 3, real-time by definition.
   // lint:allow(wall-clock)

@@ -1,0 +1,84 @@
+// 128-bit content fingerprints for canonical instance encodings.
+//
+// A Fingerprint identifies a canonicalized problem encoding (a PAM, a
+// constraint-tree instance, a decompose component) inside the incremental
+// result cache. 128 bits keep the *accidental* collision probability
+// negligible at any realistic cache size, but the cache never trusts the
+// hash alone: every entry stores the full canonical encoding and a lookup
+// compares it byte for byte (the "collision check"), so a collision costs a
+// recomputation, never a wrong answer.
+//
+// The hash is two independently-seeded 64-bit FNV-1a streams over the same
+// bytes — deterministic, platform-independent, allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gentrius::support {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// 16-hex-digit-per-word rendering, e.g. for trace lines and debugging.
+inline std::string to_string(const Fingerprint& fp) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(fp.hi >> (4 * i)) & 0xF];
+    out[31 - i] = kHex[(fp.lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+/// Fingerprint of a byte string (two seeded FNV-1a streams).
+inline Fingerprint fingerprint_bytes(std::string_view bytes) noexcept {
+  // Standard FNV-1a offset basis / prime for the first stream; the second
+  // stream starts from a distinct fixed basis so the two words are
+  // independent functions of the input.
+  std::uint64_t a = 0xcbf29ce484222325ULL;
+  std::uint64_t b = 0x9ae16a3b2f90404fULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (const char c : bytes) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    a = (a ^ byte) * kPrime;
+    b = (b ^ (byte + 0x9eU)) * kPrime;
+  }
+  // Final avalanche (splitmix64 finalizer) so short inputs still spread
+  // across the whole word.
+  const auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  return Fingerprint{mix(a), mix(b)};
+}
+
+/// Order-independent 64-bit mixing helpers for the canonicalization
+/// refinement passes (Weisfeiler–Leman-style colour updates).
+inline std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace gentrius::support

@@ -418,10 +418,7 @@ Result run_simulation(const Problem& problem, const Options& user_options,
                       std::size_t n_threads, const CostModel& costs,
                       const VirtualRules& rules, bool work_stealing) {
   GENTRIUS_CHECK(n_threads >= 1);
-  if (user_options.decompose != core::Decompose::kOff)
-    throw support::InvalidInput(
-        "run_virtual simulates one instance; Options::decompose = "
-        "kComponents is honored by decompose::run_virtual (src/decompose)");
+  core::validate_options(user_options, core::OptionsSurface::kSingleInstance);
   // Diagnostic only: how long the simulation itself took on the host. The
   // simulated schedule depends exclusively on virtual clocks.
   support::Stopwatch wall;  // lint:allow(wall-clock)

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "datagen/dataset.hpp"
 #include "datagen/dataset_io.hpp"
@@ -50,6 +52,54 @@ TEST_F(DatasetIo, ConstraintOnlyDatasets) {
   EXPECT_EQ(loaded.constraints.size(), ds.constraints.size());
   EXPECT_EQ(loaded.pam.taxon_count(), 0u);
   EXPECT_EQ(loaded.species_tree.leaf_count(), 0u);
+}
+
+TEST_F(DatasetIo, RoundTripPreservesEngineOverrides) {
+  // Crafted instances only reproduce their figure with the forced initial
+  // tree and insertion order; both must survive a write/load cycle.
+  const Dataset ds = make_plateau_instance(4, 0);
+  ASSERT_TRUE(ds.forced_initial_constraint.has_value());
+  ASSERT_FALSE(ds.forced_insertion_order.empty());
+  write_dataset(ds, dir_.string());
+
+  const auto loaded = load_dataset(dir_.string());
+  EXPECT_EQ(loaded.forced_initial_constraint, ds.forced_initial_constraint);
+  // Ids may be permuted on load; the label sequence is the invariant.
+  ASSERT_EQ(loaded.forced_insertion_order.size(),
+            ds.forced_insertion_order.size());
+  for (std::size_t i = 0; i < ds.forced_insertion_order.size(); ++i)
+    EXPECT_EQ(loaded.taxa.name(loaded.forced_insertion_order[i]),
+              ds.taxa.name(ds.forced_insertion_order[i]));
+}
+
+TEST_F(DatasetIo, PamAndConstraintsRoundTripBitForBit) {
+  SimulatedParams p;
+  p.n_taxa = 12;
+  p.n_loci = 3;
+  p.seed = 9;
+  const auto ds = make_simulated(p);
+  write_dataset(ds, dir_.string());
+  const auto loaded = load_dataset(dir_.string());
+
+  // Same shape, same cells under the (possibly permuted) label mapping.
+  ASSERT_EQ(loaded.pam.taxon_count(), ds.pam.taxon_count());
+  ASSERT_EQ(loaded.pam.locus_count(), ds.pam.locus_count());
+  for (phylo::TaxonId t = 0; t < ds.pam.taxon_count(); ++t) {
+    const auto lt = loaded.taxa.id_of(ds.taxa.name(t));
+    for (std::size_t l = 0; l < ds.pam.locus_count(); ++l)
+      EXPECT_EQ(loaded.pam.present(lt, l), ds.pam.present(t, l));
+  }
+  // Writing the loaded dataset again reproduces the files byte for byte.
+  const auto dir2 = dir_.string() + "_again";
+  write_dataset(loaded, dir2);
+  for (const char* file : {"constraints.nwk", "matrix.pam", "name.txt"}) {
+    std::ifstream a(dir_ / file), b(std::filesystem::path(dir2) / file);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << file;
+  }
+  std::filesystem::remove_all(dir2);
 }
 
 TEST_F(DatasetIo, MissingDirectoryFails) {

@@ -1,0 +1,185 @@
+// PAM edit model: apply_edit validation and the delta classifier's
+// merge/split detection against hand-crafted interaction structures.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.hpp"
+#include "datagen/tree_gen.hpp"
+#include "decompose/components.hpp"
+#include "incremental/delta.hpp"
+#include "pam/pam.hpp"
+#include "phylo/taxon_set.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius::incremental {
+namespace {
+
+phylo::Tree species_over(std::size_t n, std::uint64_t seed = 17) {
+  phylo::TaxonSet taxa;
+  support::Rng rng(seed);
+  return datagen::random_tree(datagen::default_taxa(taxa, n), rng);
+}
+
+/// Two disjoint 5-taxon blocks: locus 0 over {0..4}, locus 1 over {5..9}.
+pam::Pam two_blocks() {
+  pam::Pam pam(10, 2);
+  for (phylo::TaxonId t = 0; t < 5; ++t) pam.set_present(t, 0);
+  for (phylo::TaxonId t = 5; t < 10; ++t) pam.set_present(t, 1);
+  return pam;
+}
+
+decompose::ComponentSplit split_of(const phylo::Tree& species,
+                                   const pam::Pam& pam) {
+  return decompose::analyze_pam(species, pam).split;
+}
+
+TEST(ApplyEdit, FillAndClear) {
+  pam::Pam pam = two_blocks();
+  apply_edit(pam, PamDelta::fill_cell(0, 1));
+  EXPECT_TRUE(pam.present(0, 1));
+  apply_edit(pam, PamDelta::clear_cell(0, 1));
+  EXPECT_FALSE(pam.present(0, 1));
+
+  EXPECT_THROW(apply_edit(pam, PamDelta::fill_cell(0, 0)),
+               support::InvalidInput);  // already present
+  EXPECT_THROW(apply_edit(pam, PamDelta::clear_cell(0, 1)),
+               support::InvalidInput);  // already absent
+  EXPECT_THROW(apply_edit(pam, PamDelta::fill_cell(10, 0)),
+               support::InvalidInput);  // taxon out of range
+  EXPECT_THROW(apply_edit(pam, PamDelta::fill_cell(0, 2)),
+               support::InvalidInput);  // locus out of range
+}
+
+TEST(ApplyEdit, AddLocusAndTaxon) {
+  pam::Pam pam = two_blocks();
+  apply_edit(pam, PamDelta::add_locus({1, 2, 3, 6}));
+  ASSERT_EQ(pam.locus_count(), 3u);
+  EXPECT_TRUE(pam.present(6, 2));
+  EXPECT_FALSE(pam.present(0, 2));
+
+  apply_edit(pam, PamDelta::add_taxon({0, 2}), /*max_taxa=*/11);
+  ASSERT_EQ(pam.taxon_count(), 11u);
+  EXPECT_TRUE(pam.present(10, 0));
+  EXPECT_TRUE(pam.present(10, 2));
+  EXPECT_FALSE(pam.present(10, 1));
+
+  // The species tree has no leaf for a 12th taxon.
+  EXPECT_THROW(apply_edit(pam, PamDelta::add_taxon({}), /*max_taxa=*/11),
+               support::InvalidInput);
+  EXPECT_THROW(apply_edit(pam, PamDelta::add_locus({0, 99})),
+               support::InvalidInput);
+}
+
+TEST(ApplyEdit, ToStringNamesTheEdit) {
+  EXPECT_NE(to_string(PamDelta::fill_cell(7, 2)).find("fill"),
+            std::string::npos);
+  EXPECT_NE(to_string(PamDelta::add_locus({1, 2})).find("add_locus"),
+            std::string::npos);
+}
+
+TEST(ClassifyDelta, FillInsideOneComponentTouchesOnlyIt) {
+  const auto species = species_over(10);
+  pam::Pam before = two_blocks();
+  before.set_present(0, 0, false);  // give the fill something to fill
+  const auto before_split = split_of(species, before);
+  ASSERT_EQ(before_split.components.size(), 2u);
+
+  pam::Pam after = before;
+  const auto edit = PamDelta::fill_cell(0, 0);
+  apply_edit(after, edit);
+  const auto after_split = split_of(species, after);
+
+  const DeltaClass c =
+      classify_delta(edit, before, before_split, after, after_split);
+  EXPECT_EQ(c.touched_before, std::vector<std::size_t>{0});
+  EXPECT_EQ(c.touched_after, std::vector<std::size_t>{0});
+  EXPECT_FALSE(c.merged);
+  EXPECT_FALSE(c.split);
+}
+
+TEST(ClassifyDelta, BridgingFillMergesComponents) {
+  const auto species = species_over(10);
+  const pam::Pam before = two_blocks();
+  const auto before_split = split_of(species, before);
+  ASSERT_EQ(before_split.components.size(), 2u);
+
+  pam::Pam after = before;
+  const auto edit = PamDelta::fill_cell(0, 1);  // block-A taxon joins locus B
+  apply_edit(after, edit);
+  const auto after_split = split_of(species, after);
+  ASSERT_EQ(after_split.components.size(), 1u);
+
+  const DeltaClass c =
+      classify_delta(edit, before, before_split, after, after_split);
+  EXPECT_TRUE(c.merged);
+  EXPECT_FALSE(c.split);
+  EXPECT_EQ(c.touched_before, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(c.touched_after, std::vector<std::size_t>{0});
+}
+
+TEST(ClassifyDelta, ClearingTheBridgeSplits) {
+  const auto species = species_over(9);
+  // One component held together by taxon 4: locus 0 over {0..4}, locus 1
+  // over {4..8}.
+  pam::Pam before(9, 2);
+  for (phylo::TaxonId t = 0; t < 5; ++t) before.set_present(t, 0);
+  for (phylo::TaxonId t = 4; t < 9; ++t) before.set_present(t, 1);
+  const auto before_split = split_of(species, before);
+  ASSERT_EQ(before_split.components.size(), 1u);
+
+  pam::Pam after = before;
+  const auto edit = PamDelta::clear_cell(4, 1);
+  apply_edit(after, edit);
+  const auto after_split = split_of(species, after);
+  ASSERT_EQ(after_split.components.size(), 2u);
+
+  const DeltaClass c =
+      classify_delta(edit, before, before_split, after, after_split);
+  EXPECT_TRUE(c.split);
+  EXPECT_FALSE(c.merged);
+  EXPECT_EQ(c.touched_before, std::vector<std::size_t>{0});
+  EXPECT_EQ(c.touched_after, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ClassifyDelta, BridgingLocusMergesBoth) {
+  const auto species = species_over(10);
+  const pam::Pam before = two_blocks();
+  const auto before_split = split_of(species, before);
+
+  pam::Pam after = before;
+  const auto edit = PamDelta::add_locus({1, 2, 6, 7});
+  apply_edit(after, edit);
+  const auto after_split = split_of(species, after);
+  ASSERT_EQ(after_split.components.size(), 1u);
+
+  const DeltaClass c =
+      classify_delta(edit, before, before_split, after, after_split);
+  EXPECT_TRUE(c.merged);
+  EXPECT_EQ(c.touched_before, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ClassifyDelta, NewTaxonJoinsAComponent) {
+  const auto species = species_over(11);
+  const pam::Pam before = two_blocks();
+  const auto before_split = split_of(species, before);
+
+  pam::Pam after = before;
+  const auto edit = PamDelta::add_taxon({1});  // joins the {5..9} block
+  apply_edit(after, edit, /*max_taxa=*/11);
+  const auto after_split = split_of(species, after);
+  ASSERT_EQ(after_split.components.size(), 2u);
+
+  const DeltaClass c =
+      classify_delta(edit, before, before_split, after, after_split);
+  EXPECT_FALSE(c.merged);
+  EXPECT_FALSE(c.split);
+  // The new taxon lands in the post-edit component of the {5..9} block.
+  ASSERT_EQ(c.touched_after.size(), 1u);
+  EXPECT_TRUE(c.touched_before.empty());
+}
+
+}  // namespace
+}  // namespace gentrius::incremental

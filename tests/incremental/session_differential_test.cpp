@@ -1,0 +1,336 @@
+// Differential harness for the incremental session.
+//
+// The contract under test: after ANY edit sequence, IncrementalSession's
+// Result has the identical stand count and identical stand tree set as a
+// from-scratch decompose run of the edited matrix — cache hits, evictions,
+// split/merge rewiring, and rank-space translation included. Sweeps
+// hundreds of random block-structured instances with random edit streams
+// (fills, clears, new loci, new taxa) and checks every prefix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchutil/corpus.hpp"
+#include "datagen/dataset.hpp"
+#include "datagen/tree_gen.hpp"
+#include "decompose/components.hpp"
+#include "decompose/sharded.hpp"
+#include "decompose/testutil.hpp"
+#include "incremental/session.hpp"
+#include "pam/pam.hpp"
+#include "phylo/newick.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gentrius {
+namespace {
+
+using core::Options;
+using core::Result;
+using core::StopReason;
+using decompose_test::kProductLawSeeds;
+using decompose_test::sorted_trees;
+using incremental::EditScript;
+using incremental::IncrementalSession;
+using incremental::PamDelta;
+using incremental::SessionOptions;
+
+Options engine_options(const phylo::TaxonSet& taxa) {
+  Options o;
+  o.decompose = core::Decompose::kComponents;
+  o.collect_trees = true;
+  o.tree_names = &taxa;
+  return o;
+}
+
+Result from_scratch(const phylo::Tree& species, const pam::Pam& pam,
+                    const Options& options) {
+  const auto decomp = decompose::analyze_pam(species, pam);
+  return decompose::run_serial(decomp.constraints, options);
+}
+
+/// A random applicable edit that keeps every locus enumerable (clears only
+/// touch loci with >= 5 present taxa, so no locus drops below the
+/// min_taxa = 4 floor and the instance always has work).
+std::optional<PamDelta> random_edit(const pam::Pam& pam, support::Rng& rng) {
+  if (rng.bernoulli(0.2)) {
+    std::vector<phylo::TaxonId> members;
+    for (phylo::TaxonId t = 0; t < pam.taxon_count(); ++t) members.push_back(t);
+    rng.shuffle(members);
+    members.resize(4);
+    return PamDelta::add_locus(members);
+  }
+  std::vector<PamDelta> cands;
+  for (std::size_t l = 0; l < pam.locus_count(); ++l) {
+    const std::size_t count = pam.locus_taxa_list(l).size();
+    for (phylo::TaxonId t = 0; t < pam.taxon_count(); ++t) {
+      if (!pam.present(t, l))
+        cands.push_back(PamDelta::fill_cell(t, l));
+      else if (count >= 5)
+        cands.push_back(PamDelta::clear_cell(t, l));
+    }
+  }
+  if (cands.empty()) return std::nullopt;
+  return cands[rng.below(cands.size())];
+}
+
+benchutil::MultiComponentParams params_for_seed(std::uint64_t seed,
+                                                std::size_t n_components) {
+  benchutil::MultiComponentParams p;
+  p.n_components = n_components;
+  p.min_taxa_per_component = 4;
+  p.max_taxa_per_component = 4;  // keeps every from-scratch reference cheap
+  p.loci_per_component = 2;
+  p.seed = seed;
+  return p;
+}
+
+void expect_same(Result inc, Result ref, const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(ref.reason, StopReason::kCompleted);
+  EXPECT_EQ(inc.reason, StopReason::kCompleted);
+  EXPECT_EQ(inc.stand_trees, ref.stand_trees);
+  EXPECT_EQ(inc.count_saturated, ref.count_saturated);
+  EXPECT_EQ(sorted_trees(inc), sorted_trees(ref));
+}
+
+TEST(SessionDifferential, RandomEditStreamsMatchFromScratch) {
+  std::uint64_t total_hits = 0;
+  for (std::uint64_t seed = 1; seed <= kProductLawSeeds; ++seed) {
+    const auto ds =
+        benchutil::make_multi_component(params_for_seed(seed, 2));
+    SCOPED_TRACE(ds.name);
+    const Options opts = engine_options(ds.taxa);
+
+    SessionOptions so;
+    so.engine = opts;
+    IncrementalSession session(ds.species_tree, ds.pam, so);
+    pam::Pam shadow = ds.pam;
+
+    expect_same(session.enumerate(),
+                from_scratch(ds.species_tree, shadow, opts), "initial");
+
+    support::Rng rng(seed ^ 0x5e5510u);
+    for (int step = 0; step < 4; ++step) {
+      const auto edit = random_edit(shadow, rng);
+      if (!edit) break;
+      Result inc = session.apply(*edit);
+      incremental::apply_edit(shadow, *edit);
+      expect_same(std::move(inc),
+                  from_scratch(ds.species_tree, shadow, opts),
+                  "step " + std::to_string(step) + ": " +
+                      incremental::to_string(*edit));
+    }
+    total_hits += session.lifetime_cache_stats().hits;
+  }
+  // Localized edits must actually reuse work: across the sweep the
+  // untouched components (and often the residual) hit the cache.
+  EXPECT_GT(total_hits, kProductLawSeeds);
+}
+
+TEST(SessionDifferential, ForcedEvictionStaysExact) {
+  // capacity 1: every second component lookup misses, entries churn
+  // constantly — correctness must not depend on hitting.
+  for (std::uint64_t seed = 1; seed <= kProductLawSeeds / 4; ++seed) {
+    const auto ds =
+        benchutil::make_multi_component(params_for_seed(seed, 2));
+    SCOPED_TRACE(ds.name);
+    const Options opts = engine_options(ds.taxa);
+
+    SessionOptions so;
+    so.engine = opts;
+    so.cache_capacity = 1;
+    IncrementalSession session(ds.species_tree, ds.pam, so);
+    pam::Pam shadow = ds.pam;
+
+    support::Rng rng(seed * 977 + 3);
+    for (int step = 0; step < 3; ++step) {
+      const auto edit = random_edit(shadow, rng);
+      if (!edit) break;
+      Result inc = session.apply(*edit);
+      incremental::apply_edit(shadow, *edit);
+      expect_same(std::move(inc),
+                  from_scratch(ds.species_tree, shadow, opts),
+                  "step " + std::to_string(step));
+    }
+    EXPECT_GT(session.lifetime_cache_stats().evictions, 0u);
+  }
+}
+
+TEST(SessionDifferential, RevertedEditIsServedEntirelyFromCache) {
+  const auto ds = benchutil::make_multi_component(params_for_seed(13, 2));
+  const Options opts = engine_options(ds.taxa);
+  SessionOptions so;
+  so.engine = opts;
+  IncrementalSession session(ds.species_tree, ds.pam, so);
+
+  Result first = session.enumerate();
+  const auto fp_before = session.instance_fingerprint();
+
+  // Find a fillable cell, fill it, then clear it back.
+  PamDelta fill = PamDelta::fill_cell(0, 0);
+  bool found = false;
+  for (std::size_t l = 0; l < ds.pam.locus_count() && !found; ++l)
+    for (phylo::TaxonId t = 0; t < ds.pam.taxon_count() && !found; ++t)
+      if (!ds.pam.present(t, l)) {
+        fill = PamDelta::fill_cell(t, l);
+        found = true;
+      }
+  ASSERT_TRUE(found);
+  session.apply(fill);
+  Result reverted =
+      session.apply(PamDelta::clear_cell(fill.taxon, fill.locus));
+
+  // The reverted matrix is the original instance: every component and the
+  // residual are still cached, so nothing recomputes, and the stand set is
+  // identical — served through the rank-space round trip.
+  EXPECT_EQ(reverted.cache.misses, 0u);
+  EXPECT_EQ(reverted.cache.recomputed_components, 0u);
+  EXPECT_GT(reverted.cache.hits, 0u);
+  EXPECT_EQ(reverted.stand_trees, first.stand_trees);
+  EXPECT_EQ(sorted_trees(reverted), sorted_trees(first));
+  EXPECT_EQ(session.instance_fingerprint(), fp_before);
+  for (const auto& shard : reverted.shards) EXPECT_TRUE(shard.reused);
+}
+
+TEST(SessionDifferential, SplitAndMergeEditsStayExact) {
+  // Hand-crafted bridge instance: locus 0 over {0..4}, locus 1 over
+  // {4..8}, one component via bridge taxon 4. Clearing (4,1) splits it;
+  // re-filling merges it back.
+  phylo::TaxonSet taxa;
+  support::Rng rng(29);
+  const auto species =
+      datagen::random_tree(datagen::default_taxa(taxa, 9), rng);
+  pam::Pam pam(9, 2);
+  for (phylo::TaxonId t = 0; t < 5; ++t) pam.set_present(t, 0);
+  for (phylo::TaxonId t = 4; t < 9; ++t) pam.set_present(t, 1);
+
+  const Options opts = engine_options(taxa);
+  SessionOptions so;
+  so.engine = opts;
+  IncrementalSession session(species, pam, so);
+  pam::Pam shadow = pam;
+
+  expect_same(session.enumerate(), from_scratch(species, shadow, opts),
+              "bridged");
+
+  Result split = session.apply(PamDelta::clear_cell(4, 1));
+  incremental::apply_edit(shadow, PamDelta::clear_cell(4, 1));
+  EXPECT_TRUE(session.last_classification().split);
+  expect_same(std::move(split), from_scratch(species, shadow, opts),
+              "after split");
+
+  Result merged = session.apply(PamDelta::fill_cell(4, 1));
+  incremental::apply_edit(shadow, PamDelta::fill_cell(4, 1));
+  EXPECT_TRUE(session.last_classification().merged);
+  expect_same(std::move(merged), from_scratch(species, shadow, opts),
+              "after merge");
+}
+
+TEST(SessionDifferential, AddTaxonActivatesASpeciesTreeLeaf) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto ds =
+        benchutil::make_multi_component(params_for_seed(seed * 7 + 1, 2));
+    const std::size_t n = ds.taxon_count();
+    // Start the session one taxon short; the species tree already spans it.
+    pam::Pam initial(n - 1, ds.pam.locus_count());
+    for (std::size_t l = 0; l < ds.pam.locus_count(); ++l)
+      for (phylo::TaxonId t = 0; t + 1 < n; ++t)
+        if (ds.pam.present(t, l)) initial.set_present(t, l);
+    const auto split = decompose::analyze_pam(ds.species_tree, initial).split;
+    if (split.enumerable_count == 0) continue;  // degenerate after dropping
+    SCOPED_TRACE(ds.name);
+
+    const Options opts = engine_options(ds.taxa);
+    SessionOptions so;
+    so.engine = opts;
+    IncrementalSession session(ds.species_tree, initial, so);
+    expect_same(session.enumerate(),
+                from_scratch(ds.species_tree, initial, opts), "short");
+
+    std::vector<std::size_t> loci;
+    for (std::size_t l = 0; l < ds.pam.locus_count(); ++l)
+      if (ds.pam.present(static_cast<phylo::TaxonId>(n - 1), l))
+        loci.push_back(l);
+    Result grown = session.apply(PamDelta::add_taxon(loci));
+    EXPECT_EQ(session.pam().taxon_count(), n);
+    // The grown matrix is exactly ds.pam.
+    expect_same(std::move(grown),
+                from_scratch(ds.species_tree, ds.pam, opts), "grown");
+  }
+}
+
+TEST(SessionDifferential, VirtualBackendMatchesSerialReference) {
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    const auto ds =
+        benchutil::make_multi_component(params_for_seed(seed, 2));
+    SCOPED_TRACE(ds.name);
+    const Options opts = engine_options(ds.taxa);
+    SessionOptions so;
+    so.engine = opts;
+    so.run.backend = decompose::ShardBackend::kVirtual;
+    so.run.n_threads = 4;
+    IncrementalSession session(ds.species_tree, ds.pam, so);
+    pam::Pam shadow = ds.pam;
+
+    support::Rng rng(seed);
+    for (int step = 0; step < 2; ++step) {
+      const auto edit = random_edit(shadow, rng);
+      if (!edit) break;
+      Result inc = session.apply(*edit);
+      incremental::apply_edit(shadow, *edit);
+      expect_same(std::move(inc),
+                  from_scratch(ds.species_tree, shadow, opts),
+                  "step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(SessionDifferential, RejectsUnusableConfigurations) {
+  const auto ds = benchutil::make_multi_component(params_for_seed(1, 2));
+  SessionOptions so;
+  so.engine = engine_options(ds.taxa);
+
+  {
+    SessionOptions bad = so;
+    bad.engine.decompose = core::Decompose::kOff;
+    EXPECT_THROW(IncrementalSession(ds.species_tree, ds.pam, bad),
+                 support::InvalidInput);
+  }
+  {
+    SessionOptions bad = so;
+    bad.engine.tree_names = nullptr;  // collect_trees without labels
+    EXPECT_THROW(IncrementalSession(ds.species_tree, ds.pam, bad),
+                 support::InvalidInput);
+  }
+  {
+    // Species tree smaller than the matrix's taxon universe.
+    phylo::TaxonSet small;
+    support::Rng rng(5);
+    const auto tiny =
+        datagen::random_tree(datagen::default_taxa(small, 4), rng);
+    EXPECT_THROW(IncrementalSession(tiny, ds.pam, so),
+                 support::InvalidInput);
+  }
+  {
+    // Nothing enumerable: a matrix whose only locus is below the floor.
+    phylo::TaxonSet taxa;
+    support::Rng rng(6);
+    const auto species =
+        datagen::random_tree(datagen::default_taxa(taxa, 6), rng);
+    pam::Pam sparse(6, 1);
+    sparse.set_present(0, 0);
+    sparse.set_present(1, 0);
+    sparse.set_present(2, 0);
+    SessionOptions s2 = so;
+    s2.engine.tree_names = &taxa;
+    IncrementalSession session(species, sparse, s2);
+    EXPECT_THROW(session.enumerate(), support::InvalidInput);
+  }
+}
+
+}  // namespace
+}  // namespace gentrius

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Benchmark regression harness: runs the engine micro-benchmarks and emits
-a machine-readable BENCH_8.json so the perf trajectory is comparable across
+a machine-readable BENCH_9.json so the perf trajectory is comparable across
 PRs.
 
 What it runs (from a Release build tree):
@@ -27,6 +27,14 @@ What it runs (from a Release build tree):
     Deterministic; the hard gate requires every skewed seed's *median*
     adaptive advantage over the N_t >= 8 grid to be >= 1.15x and every
     instance to stay within 3% of the fixed policy at N_t <= 2.
+  * bench/bench_incremental_edits (with --incremental) — an
+    IncrementalSession (src/incremental) absorbing a structure-preserving
+    PAM edit stream vs a from-scratch decompose::run_sharded at every step.
+    Cost metric is states expanded (deterministic). The hard gate requires,
+    on the >= 4-component counting family: median per-edit speedup >= 5x,
+    at most 1 recomputed component per edit, an unsaturated (exact) count,
+    and count equality with the baseline at every step; and, on the
+    collecting family, sorted stand sets byte-equal at every step.
 
 Wall-clock micro-benchmarks run with >= 4 repetitions by default and the
 *median* across repetitions is the headline number. The PR 5 post-mortem
@@ -35,9 +43,9 @@ host mis-measured BM_FullStateExpansion by ~10% and was chased as a code
 regression. Each micro entry records the repetition count and the spread
 (cv) so a noisy reading is visible in the report itself.
 
-Output schema (BENCH_8.json):
+Output schema (BENCH_9.json):
   {
-    "schema": "gentrius-bench-8",
+    "schema": "gentrius-bench-9",
     "baseline": {...},            # pinned pre-PR-4 reference numbers
     "micro_engine": {name: {"real_time_ns", "items_per_second",
                             "states_per_sec",      # medians over repetitions
@@ -53,6 +61,15 @@ Output schema (BENCH_8.json):
                                 "sharded_conc_makespan", "speedup_seq",
                                 "speedup_conc", "mono_trees",
                                 "sharded_trees"}} | null,
+    "incremental_edits": {"families": {name:
+                          {"instance": str, "components": int,
+                           "enumerable": int, "closed_form": bool,
+                           "collect": bool, "init": {...},
+                           "edits": [{"kind", "dirty", "inc_states",
+                                      "scratch_states", "count_ok",
+                                      "stands_ok", "speedup"}],
+                           "median_speedup", "amortized_speedup",
+                           "max_dirty", "equal": bool}}} | null,
     "offer_policy": {"instances": {name:
                          {"family": "skewed" | "corpus",
                           "serial_makespan", "serial_states", ...,
@@ -65,14 +82,17 @@ Output schema (BENCH_8.json):
                 "max_scheduler_mismatch_percent_at_low_nt",
                 "sharded_over_mono_speedup_at_1",
                 "offer_policy_skewed_median_advantage",
-                "offer_policy_skewed_min_advantage"}
+                "offer_policy_skewed_min_advantage",
+                "incremental_median_speedup",
+                "incremental_amortized_speedup"}
   }
 
 Typical use:
   python3 tools/run_benchmarks.py --build-dir build-bench --schedulers \
-      --decompose --offer-policies
+      --decompose --offer-policies --incremental
   python3 tools/run_benchmarks.py --min-time 0.1 --mapping-scale 0.2 \
-      --schedulers --decompose --offer-policies --check-against BENCH_8.json  # CI smoke
+      --schedulers --decompose --offer-policies --incremental \
+      --check-against BENCH_9.json  # CI smoke
 
 --check-against compares every micro-benchmark present in both reports
 (medians vs medians: states/s and items/s must not fall below, latency-only
@@ -487,11 +507,154 @@ def print_sweep_table(sweep: dict) -> None:
               f"{d or float('nan'):12.2f} {ratio}")
 
 
+
+INC_HEADER = re.compile(
+    r"^INC family=(\w+) instance=(\S+) components=(\d+) enumerable=(\d+) "
+    r"edits=(\d+) closed_form=(\d) collect=(\d)")
+INC_INIT = re.compile(
+    r"^INCINIT family=(\w+) states=(\d+) trees=(\d+) saturated=(\d)")
+INC_EDIT = re.compile(
+    r"^INCEDIT family=(\w+) i=(\d+) kind=(\w+) dirty=(\d+) "
+    r"inc_states=(\d+) scratch_states=(\d+) hits=(\d+) misses=(\d+) "
+    r"count_ok=(\d) stands_ok=(\d) speedup=([0-9.]+)")
+INC_SUM = re.compile(
+    r"^INCSUM family=(\w+) edits=(\d+) median_speedup=([0-9.]+) "
+    r"amortized_speedup=([0-9.]+) max_dirty=(\d+) equal=(\d) "
+    r"lifetime_hits=(\d+) lifetime_misses=(\d+)")
+
+# The incremental acceptance bars (states expanded are deterministic, so
+# these are exact): the >= 4-component counting family must amortize each
+# edit to >= 5x cheaper than from-scratch at the median, recompute at most
+# one component per edit, and agree with the baseline exactly.
+INCREMENTAL_MIN_COMPONENTS = 4
+INCREMENTAL_MIN_MEDIAN_SPEEDUP = 5.0
+
+
+def run_incremental_sweep(build_dir: pathlib.Path) -> dict:
+    exe = build_dir / "bench" / "bench_incremental_edits"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found - build the bench targets first "
+                 f"(cmake --build {build_dir} "
+                 f"--target bench_incremental_edits)")
+    cmd = [str(exe)]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    sweep: dict = {"families": {}}
+    for line in proc.stdout.splitlines():
+        hm = INC_HEADER.match(line)
+        if hm:
+            sweep["families"][hm.group(1)] = {
+                "instance": hm.group(2),
+                "components": int(hm.group(3)),
+                "enumerable": int(hm.group(4)),
+                "closed_form": hm.group(6) == "1",
+                "collect": hm.group(7) == "1",
+                "edits": [],
+            }
+            continue
+        im = INC_INIT.match(line)
+        if im:
+            sweep["families"][im.group(1)]["init"] = {
+                "states": int(im.group(2)),
+                "trees": int(im.group(3)),
+                "saturated": im.group(4) == "1",
+            }
+            continue
+        em = INC_EDIT.match(line)
+        if em:
+            sweep["families"][em.group(1)]["edits"].append({
+                "kind": em.group(3),
+                "dirty": int(em.group(4)),
+                "inc_states": int(em.group(5)),
+                "scratch_states": int(em.group(6)),
+                "hits": int(em.group(7)),
+                "misses": int(em.group(8)),
+                "count_ok": em.group(9) == "1",
+                "stands_ok": em.group(10) == "1",
+                "speedup": float(em.group(11)),
+            })
+            continue
+        sm = INC_SUM.match(line)
+        if sm:
+            sweep["families"][sm.group(1)].update({
+                "median_speedup": float(sm.group(3)),
+                "amortized_speedup": float(sm.group(4)),
+                "max_dirty": int(sm.group(5)),
+                "equal": sm.group(6) == "1",
+                "lifetime_hits": int(sm.group(7)),
+                "lifetime_misses": int(sm.group(8)),
+            })
+    if not sweep["families"]:
+        sys.exit("error: no INC lines parsed from bench_incremental_edits")
+    return sweep
+
+
+def gate_incremental(sweep: dict) -> bool:
+    ok = True
+    gate_family = None
+    collect_family = None
+    for name, fam in sorted(sweep["families"].items()):
+        if not fam.get("collect") and \
+                fam.get("components", 0) >= INCREMENTAL_MIN_COMPONENTS:
+            gate_family = (name, fam)
+        if fam.get("collect"):
+            collect_family = (name, fam)
+        equal = fam.get("equal", False)
+        print(f"incremental gate: family={name} equal={equal}: "
+              f"{'OK' if equal else 'FAIL'}")
+        ok &= equal
+
+    if gate_family is None:
+        print(f"incremental gate: no counting family with >= "
+              f"{INCREMENTAL_MIN_COMPONENTS} components: FAIL")
+        ok = False
+    else:
+        name, fam = gate_family
+        med = fam.get("median_speedup", 0.0)
+        fast = med >= INCREMENTAL_MIN_MEDIAN_SPEEDUP
+        print(f"incremental gate: family={name} "
+              f"components={fam['components']} median speedup {med:.2f}x "
+              f"(need >= {INCREMENTAL_MIN_MEDIAN_SPEEDUP:.0f}x): "
+              f"{'OK' if fast else 'FAIL'}")
+        ok &= fast
+        local = fam.get("max_dirty", 99) <= 1
+        print(f"incremental gate: family={name} max recomputed components "
+              f"per edit {fam.get('max_dirty')}: "
+              f"{'OK' if local else 'FAIL'}")
+        ok &= local
+        exact = not fam.get("init", {}).get("saturated", True)
+        print(f"incremental gate: family={name} count exact "
+              f"(unsaturated): {'OK' if exact else 'FAIL'}")
+        ok &= exact
+
+    if collect_family is None:
+        print("incremental gate: no stand-collecting family: FAIL")
+        ok = False
+    return ok
+
+
+def print_incremental_table(sweep: dict) -> None:
+    for name, fam in sorted(sweep["families"].items()):
+        print(f"incremental edits ({name}: {fam.get('instance', '?')}, "
+              f"{fam.get('components', '?')} components, "
+              f"{'stands' if fam.get('collect') else 'counts'}):")
+        print(f"  {'edit':>4} {'kind':>10} {'dirty':>5} {'inc':>8} "
+              f"{'scratch':>8} {'speedup':>9}")
+        for i, e in enumerate(fam.get("edits", []), 1):
+            print(f"  {i:>4} {e['kind']:>10} {e['dirty']:>5} "
+                  f"{e['inc_states']:>8} {e['scratch_states']:>8} "
+                  f"{e['speedup']:8.2f}x")
+        print(f"  median {fam.get('median_speedup', 0):.2f}x amortized "
+              f"{fam.get('amortized_speedup', 0):.2f}x "
+              f"hits {fam.get('lifetime_hits')} "
+              f"misses {fam.get('lifetime_misses')}")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build-bench", type=pathlib.Path,
                     help="Release build tree containing bench/ binaries")
-    ap.add_argument("--output", default="BENCH_8.json", type=pathlib.Path)
+    ap.add_argument("--output", default="BENCH_9.json", type=pathlib.Path)
     ap.add_argument("--min-time", type=float, default=None,
                     help="google-benchmark per-benchmark min time, seconds "
                          "(default: library default; use 0.1 for CI smoke)")
@@ -521,6 +684,12 @@ def main() -> int:
                          "(bench_offer_policy); hard-gates the skewed-"
                          "family median advantage at N_t >= 8 and the "
                          "low-thread parity of the adaptive controller")
+    ap.add_argument("--incremental", action="store_true",
+                    help="also run the incremental re-enumeration sweep "
+                         "(bench_incremental_edits); hard-gates >= 5x "
+                         "median per-edit speedup on the >= 4-component "
+                         "family and exact agreement with from-scratch at "
+                         "every edit step")
     ap.add_argument("--check-against", type=pathlib.Path, default=None,
                     help="baseline BENCH_N.json; exit non-zero when any "
                          "micro-benchmark present in both reports (or the "
@@ -533,7 +702,7 @@ def main() -> int:
     args = ap.parse_args()
 
     report = {
-        "schema": "gentrius-bench-8",
+        "schema": "gentrius-bench-9",
         "generated_by": "tools/run_benchmarks.py",
         "build_dir": str(args.build_dir),
         "baseline": {
@@ -555,6 +724,8 @@ def main() -> int:
                                if args.decompose else None),
         "offer_policy": (run_offer_policy_sweep(args.build_dir)
                          if args.offer_policies else None),
+        "incremental_edits": (run_incremental_sweep(args.build_dir)
+                              if args.incremental else None),
     }
 
     derived = {}
@@ -579,6 +750,14 @@ def main() -> int:
                 offer_derived["skewed_median_advantage"])
             derived["offer_policy_skewed_min_advantage"] = (
                 offer_derived["skewed_min_advantage"])
+    if report["incremental_edits"]:
+        for fam in report["incremental_edits"]["families"].values():
+            if not fam.get("collect") and \
+                    fam.get("components", 0) >= INCREMENTAL_MIN_COMPONENTS:
+                derived["incremental_median_speedup"] = fam.get(
+                    "median_speedup")
+                derived["incremental_amortized_speedup"] = fam.get(
+                    "amortized_speedup")
     report["derived"] = derived
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -599,6 +778,10 @@ def main() -> int:
     if report["offer_policy"]:
         print_offer_policy_table(report["offer_policy"], offer_derived)
         if not gate_offer_policy(report["offer_policy"], offer_derived):
+            return 1
+    if report["incremental_edits"]:
+        print_incremental_table(report["incremental_edits"])
+        if not gate_incremental(report["incremental_edits"]):
             return 1
 
     if args.check_against is not None:
@@ -680,6 +863,18 @@ def main() -> int:
                   f"vs baseline {base_offer:.3f}x (floor {floor:.3f}x): "
                   f"{verdict}")
             if fresh_offer < floor:
+                return 1
+        base_inc = (base.get("derived") or {}).get(
+            "incremental_median_speedup")
+        fresh_inc = derived.get("incremental_median_speedup")
+        if base_inc and fresh_inc:
+            # States expanded are deterministic: tight tolerance, as above.
+            floor = base_inc * 0.98
+            verdict = "OK" if fresh_inc >= floor else "REGRESSION"
+            print(f"incremental check: median speedup {fresh_inc:.2f}x vs "
+                  f"baseline {base_inc:.2f}x (floor {floor:.2f}x): "
+                  f"{verdict}")
+            if fresh_inc < floor:
                 return 1
     return 0
 
