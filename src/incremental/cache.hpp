@@ -2,9 +2,10 @@
 //
 // One entry per canonicalized shard instance: a decompose component (keyed
 // by its constraint-tree canonical encoding, src/gentrius/problem.hpp) or
-// the residual shard (keyed by its size signature — the interleaving count
-// M depends only on the universe size and the enumerable component sizes,
-// DESIGN.md "Decomposition"). Values live in canonical *rank space*
+// the residual shard (keyed by its size signature plus any pass-through
+// constraints verbatim — the interleaving count M depends only on the
+// universe size and the enumerable component sizes when every component is
+// enumerable, DESIGN.md "Decomposition"). Values live in canonical *rank space*
 // (counts, the representative, optionally the full stand as rank-label
 // Newick), so a hit from any relabeling of the same component can be
 // translated back into the session's taxon ids.

@@ -78,11 +78,16 @@ struct DeltaClass {
 
 /// Classifies an edit against the pre/post interaction-graph splits of the
 /// induced constraint sets. `before`/`after` must be the analyze_pam splits
-/// of the matrix before and after apply_edit.
+/// of the matrix before and after apply_edit. For a kAddTaxon edit inside a
+/// multi-edit script, `added_taxon` must be the taxon id apply_edit actually
+/// assigned to THIS edit (the post-script matrix's last taxon belongs to the
+/// script's last add, not to every add); kNoTaxon falls back to the
+/// single-edit inference of after_pam's last taxon.
 DeltaClass classify_delta(const PamDelta& edit,
                           const pam::Pam& before_pam,
                           const decompose::ComponentSplit& before,
                           const pam::Pam& after_pam,
-                          const decompose::ComponentSplit& after);
+                          const decompose::ComponentSplit& after,
+                          phylo::TaxonId added_taxon = phylo::kNoTaxon);
 
 }  // namespace gentrius::incremental

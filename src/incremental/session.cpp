@@ -1,6 +1,7 @@
 #include "incremental/session.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "decompose/shard_exec.hpp"
@@ -78,11 +79,23 @@ Result IncrementalSession::apply(const PamDelta& edit) {
 }
 
 Result IncrementalSession::apply(const EditScript& script) {
-  const pam::Pam before_pam = pam_;
   const auto before =
-      decompose::analyze_pam(species_, before_pam, options_.min_taxa).split;
-  for (const PamDelta& edit : script)
-    apply_edit(pam_, edit, species_.leaf_count());
+      decompose::analyze_pam(species_, pam_, options_.min_taxa).split;
+
+  // Validate-then-commit: the script lands on a scratch copy, so a
+  // mid-script failure (out-of-range index, filling an already-present
+  // cell, ...) rethrows with the session matrix untouched — apply() is
+  // atomic as documented. Each kAddTaxon's assigned taxon id is recorded
+  // here because it is unrecoverable from the post-script matrix alone.
+  pam::Pam edited = pam_;
+  std::vector<phylo::TaxonId> added_taxon(script.size(), phylo::kNoTaxon);
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    if (script[i].kind == EditKind::kAddTaxon)
+      added_taxon[i] = static_cast<phylo::TaxonId>(edited.taxon_count());
+    apply_edit(edited, script[i], species_.leaf_count());
+  }
+  const pam::Pam before_pam = std::move(pam_);
+  pam_ = std::move(edited);
   const auto after =
       decompose::analyze_pam(species_, pam_, options_.min_taxa).split;
 
@@ -90,8 +103,10 @@ Result IncrementalSession::apply(const EditScript& script) {
   // OR of the structure flags (each edit judged against the script-level
   // before/after splits).
   DeltaClass merged;
-  for (const PamDelta& edit : script) {
-    const DeltaClass c = classify_delta(edit, before_pam, before, pam_, after);
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const PamDelta& edit = script[i];
+    const DeltaClass c = classify_delta(edit, before_pam, before, pam_, after,
+                                        added_taxon[i]);
     merged.touched_before.insert(merged.touched_before.end(),
                                  c.touched_before.begin(),
                                  c.touched_before.end());
@@ -147,8 +162,12 @@ Result IncrementalSession::run_cached() {
     const Component* comp = nullptr;
     std::vector<phylo::Tree> sub;
     core::CanonicalInstance canon;
-    const CacheEntry* hit = nullptr;  ///< usable hit (stands included if needed)
-    phylo::Tree representative;       ///< session-id tree; empty if stand empty
+    /// Usable hit (stands included if needed), copied OUT of the cache at
+    /// plan time: the run phase inserts recomputed misses, and an insert at
+    /// capacity evicts — a pointer into the cache could dangle before its
+    /// hit is served.
+    std::optional<CacheEntry> hit;
+    phylo::Tree representative;  ///< session-id tree; empty if stand empty
     bool empty = false;
   };
   std::vector<CompWork> work;
@@ -167,9 +186,14 @@ Result IncrementalSession::run_cached() {
     w.sub = detail::subset_constraints(constraints, comp);
     w.canon = core::canonicalize_instance(w.sub);
     const CacheEntry* entry = cache_.find(w.canon.fp, w.canon.encoding);
-    if (entry && (!want_stands || entry->stands_complete ||
-                  entry->stand_trees == 0)) {
-      w.hit = entry;
+    // A hit serves stand streaming only when its stand fits the caller's
+    // collect_limit: a from-scratch run truncates each component's
+    // collection at the limit, so serving a larger cached stand would break
+    // byte-equality with run_sharded in the truncated regime.
+    if (entry && (!want_stands || entry->stand_trees == 0 ||
+                  (entry->stands_complete &&
+                   entry->stands.size() <= options_.engine.collect_limit))) {
+      w.hit = *entry;
       if (entry->stand_trees == 0) {
         w.empty = true;
         empty_component = true;
@@ -310,10 +334,24 @@ Result IncrementalSession::run_cached() {
     for (const CompWork& w : work) sizes.push_back(w.comp->taxa.size());
     std::sort(sizes.begin(), sizes.end());
     std::string res_encoding =
-        "gentrius-residual-v1 n=" + std::to_string(universe) + " sizes=";
+        "gentrius-residual-v2 n=" + std::to_string(universe) + " sizes=";
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       if (i) res_encoding.push_back(',');
       res_encoding += std::to_string(sizes[i]);
+    }
+    // Pass-through constraints (<= 2 taxa each) are vacuous in theory, but
+    // closed_form_residual refuses to count across them — the cache must
+    // not assume more shape independence than the closed form proves, so
+    // the key carries them byte for byte.
+    std::vector<std::string> pass_enc;
+    pass_enc.reserve(passthrough.size());
+    for (const phylo::Tree& t : passthrough)
+      pass_enc.push_back(phylo::canonical_newick(t, labels));
+    std::sort(pass_enc.begin(), pass_enc.end());
+    res_encoding += " pass=";
+    for (std::size_t i = 0; i < pass_enc.size(); ++i) {
+      if (i) res_encoding.push_back(';');
+      res_encoding += pass_enc[i];
     }
     res_encoding.push_back('\n');
     const support::Fingerprint res_fp =
@@ -322,9 +360,10 @@ Result IncrementalSession::run_cached() {
 
     if (const CacheEntry* entry = cache_.find(res_fp, res_encoding)) {
       // The interleaving count M depends only on the size signature
-      // (DESIGN.md "Decomposition"), so any cached completed residual of
-      // this signature carries the exact count — whatever representatives
-      // it was computed from.
+      // (DESIGN.md "Decomposition") and the pass-through constraints the
+      // key carries verbatim, so any cached completed residual of this
+      // encoding carries the exact count — whatever representatives it was
+      // computed from.
       ShardStats s = entry->stats;
       s.reused = true;
       s.n_taxa = universe;

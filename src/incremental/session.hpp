@@ -14,10 +14,14 @@
 //
 // The residual shard — whose interleaving count M usually dominates a
 // from-scratch run — is cached by its size signature (universe size +
-// sorted enumerable component sizes): M provably depends on nothing else,
-// so any edit that reshapes a component without resizing the split reuses
-// it outright. That reuse, plus per-component reuse, is where the >= 5x
-// amortized speedup of BENCH_9 comes from.
+// sorted enumerable component sizes) plus the pass-through constraints of
+// non-enumerable components byte for byte: M provably depends on nothing
+// beyond the signature when every component is enumerable, and the cache
+// claims no more shape independence than that (closed_form_residual
+// likewise refuses the pass-through case). Any edit that reshapes a
+// component without resizing the split or rewriting the pass-throughs
+// reuses the residual outright; that reuse, plus per-component reuse, is
+// where the >= 5x amortized speedup of BENCH_9 comes from.
 #pragma once
 
 #include <cstdint>

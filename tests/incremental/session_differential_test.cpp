@@ -47,8 +47,8 @@ Options engine_options(const phylo::TaxonSet& taxa) {
 }
 
 Result from_scratch(const phylo::Tree& species, const pam::Pam& pam,
-                    const Options& options) {
-  const auto decomp = decompose::analyze_pam(species, pam);
+                    const Options& options, std::size_t min_taxa = 4) {
+  const auto decomp = decompose::analyze_pam(species, pam, min_taxa);
   return decompose::run_serial(decomp.constraints, options);
 }
 
@@ -287,6 +287,136 @@ TEST(SessionDifferential, VirtualBackendMatchesSerialReference) {
                   "step " + std::to_string(step));
     }
   }
+}
+
+TEST(SessionDifferential, FailingScriptLeavesSessionUnchanged) {
+  // apply(EditScript) is atomic: a script that fails mid-way (the second
+  // fill hits the cell the first just filled) must rethrow with the
+  // session matrix byte-identical to before the call.
+  const auto ds = benchutil::make_multi_component(params_for_seed(3, 2));
+  const Options opts = engine_options(ds.taxa);
+  SessionOptions so;
+  so.engine = opts;
+  IncrementalSession session(ds.species_tree, ds.pam, so);
+
+  PamDelta fill = PamDelta::fill_cell(0, 0);
+  bool found = false;
+  for (std::size_t l = 0; l < ds.pam.locus_count() && !found; ++l)
+    for (phylo::TaxonId t = 0; t < ds.pam.taxon_count() && !found; ++t)
+      if (!ds.pam.present(t, l)) {
+        fill = PamDelta::fill_cell(t, l);
+        found = true;
+      }
+  ASSERT_TRUE(found);
+
+  const std::string before_text = session.pam().to_text(ds.taxa);
+  EXPECT_THROW(session.apply(EditScript{fill, fill}), support::InvalidInput);
+  EXPECT_EQ(session.pam().to_text(ds.taxa), before_text);
+  expect_same(session.enumerate(),
+              from_scratch(ds.species_tree, ds.pam, opts), "after rollback");
+}
+
+TEST(SessionDifferential, EvictionDuringPendingHitStaysExact) {
+  // Regression: the plan phase records cache hits before the run phase
+  // inserts recomputed misses, and an insert at capacity evicts. With the
+  // closed-form residual (never inserted), warm-up leaves only component 1
+  // cached (capacity 1 evicted component 0). The add_locus dirties
+  // component 0 only, so the edit run hits component 1 at plan time, then
+  // recomputing component 0 evicts that still-pending entry before it is
+  // served — served data must not dangle.
+  phylo::TaxonSet taxa;
+  support::Rng rng(41);
+  const auto species =
+      datagen::random_tree(datagen::default_taxa(taxa, 8), rng);
+  pam::Pam pam(8, 2);
+  for (phylo::TaxonId t = 0; t < 4; ++t) pam.set_present(t, 0);
+  for (phylo::TaxonId t = 4; t < 8; ++t) pam.set_present(t, 1);
+
+  const Options opts = engine_options(taxa);
+  SessionOptions so;
+  so.engine = opts;
+  so.cache_capacity = 1;
+  so.run.residual_closed_form = true;
+  IncrementalSession session(species, pam, so);
+  session.enumerate();
+
+  const PamDelta edit = PamDelta::add_locus({0, 1, 2, 3});
+  Result inc = session.apply(edit);
+  pam::Pam shadow = pam;
+  incremental::apply_edit(shadow, edit);
+  EXPECT_EQ(inc.cache.hits, 1u);
+  EXPECT_EQ(inc.cache.misses, 1u);
+  EXPECT_EQ(inc.cache.evictions, 1u);
+  expect_same(std::move(inc), from_scratch(species, shadow, opts),
+              "after eviction of pending hit");
+}
+
+TEST(SessionDifferential, ResidualKeyTracksPassThroughStructure) {
+  // Two session states with identical universe size and enumerable
+  // component sizes but different pass-through constraints must not share
+  // a residual cache entry: the closed form refuses the pass-through case,
+  // so the cache may not assume shape independence across it either.
+  phylo::TaxonSet taxa;
+  support::Rng rng(53);
+  const auto species =
+      datagen::random_tree(datagen::default_taxa(taxa, 10), rng);
+  pam::Pam pam(10, 4);
+  for (phylo::TaxonId t = 0; t < 4; ++t) pam.set_present(t, 0);
+  for (phylo::TaxonId t = 4; t < 8; ++t) pam.set_present(t, 1);
+  pam.set_present(8, 2);
+  pam.set_present(9, 2);
+  pam.set_present(8, 3);
+  pam.set_present(9, 3);
+
+  const Options opts = engine_options(taxa);
+  SessionOptions so;
+  so.engine = opts;
+  so.min_taxa = 2;  // 2-taxon loci induce (vacuous) pass-through constraints
+  IncrementalSession session(species, pam, so);
+  expect_same(session.enumerate(), from_scratch(species, pam, opts, 2),
+              "two pass-through constraints");
+
+  // Dropping taxon 9 from locus 3 erases that constraint (below the
+  // min_taxa floor) but keeps the universe and the enumerable sizes: only
+  // the pass-through structure changes, so the residual must miss and
+  // recompute rather than serve the previous signature's entry.
+  const PamDelta edit = PamDelta::clear_cell(9, 3);
+  Result inc = session.apply(edit);
+  pam::Pam shadow = pam;
+  incremental::apply_edit(shadow, edit);
+  EXPECT_EQ(inc.cache.misses, 1u);
+  EXPECT_EQ(inc.cache.recomputed_components, 0u);
+  expect_same(std::move(inc), from_scratch(species, shadow, opts, 2),
+              "one pass-through constraint");
+}
+
+TEST(SessionDifferential, ScriptWithMultipleAddTaxaClassifiesEach) {
+  // Each kAddTaxon edit in a script must be classified by the taxon id it
+  // actually added, not by the post-script matrix's last taxon: taxon 8
+  // joins component 0 and taxon 9 joins component 1, so both components
+  // are touched_after.
+  phylo::TaxonSet taxa;
+  support::Rng rng(67);
+  const auto species =
+      datagen::random_tree(datagen::default_taxa(taxa, 10), rng);
+  pam::Pam pam(8, 2);
+  for (phylo::TaxonId t = 0; t < 4; ++t) pam.set_present(t, 0);
+  for (phylo::TaxonId t = 4; t < 8; ++t) pam.set_present(t, 1);
+
+  const Options opts = engine_options(taxa);
+  SessionOptions so;
+  so.engine = opts;
+  IncrementalSession session(species, pam, so);
+  session.enumerate();
+
+  const EditScript script{PamDelta::add_taxon({0}), PamDelta::add_taxon({1})};
+  Result inc = session.apply(script);
+  pam::Pam shadow = pam;
+  for (const PamDelta& edit : script) incremental::apply_edit(shadow, edit);
+  EXPECT_EQ(session.last_classification().touched_after,
+            (std::vector<std::size_t>{0, 1}));
+  expect_same(std::move(inc), from_scratch(species, shadow, opts),
+              "after two add_taxon edits");
 }
 
 TEST(SessionDifferential, RejectsUnusableConfigurations) {
